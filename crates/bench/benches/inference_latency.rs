@@ -1,0 +1,54 @@
+//! Model inference latency (paper §VI-D-3: the authors measure 0.23 s per
+//! round trip to their GPU-hosted models; the from-scratch CPU
+//! implementation answers in microseconds).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use osml_models::{features, ModelA, ModelB, ModelBPrime, ModelC};
+use osml_platform::CounterSample;
+use std::hint::black_box;
+
+fn sample() -> CounterSample {
+    CounterSample {
+        ipc: 1.1,
+        llc_misses_per_sec: 5.0e7,
+        mbl_gbps: 8.0,
+        cpu_usage: 9.5,
+        memory_util_gb: 4.0,
+        virt_memory_gb: 6.4,
+        res_memory_gb: 4.0,
+        llc_occupancy_mb: 18.0,
+        allocated_cores: 12,
+        allocated_ways: 8,
+        frequency_ghz: 2.3,
+        response_latency_ms: 7.5,
+    }
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let s = sample();
+    let model_a = ModelA::new(36, 20, 1);
+    let model_b = ModelB::new(36, 20, 2);
+    let model_bp = ModelBPrime::new(3);
+    let model_c = ModelC::new(4);
+
+    let mut group = c.benchmark_group("inference");
+    group.bench_function("model_a_predict", |b| {
+        b.iter(|| black_box(model_a.predict(black_box(&s))))
+    });
+    group.bench_function("model_b_predict", |b| {
+        b.iter(|| black_box(model_b.predict(black_box(&s), 0.10)))
+    });
+    group.bench_function("model_b_prime_predict", |b| {
+        b.iter(|| black_box(model_bp.predict(black_box(&s), 2, 1)))
+    });
+    group.bench_function("model_c_q_values", |b| {
+        b.iter(|| black_box(model_c.q_values(black_box(&s))))
+    });
+    group.bench_function("feature_extraction", |b| {
+        b.iter(|| black_box(features::model_a_input(black_box(&s))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

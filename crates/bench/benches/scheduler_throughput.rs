@@ -1,0 +1,72 @@
+//! Scheduler and simulator throughput: how fast the substrate ticks, the
+//! ground-truth sweeps run, and the schedulers decide — the quantities that
+//! make the training corpus and the grid experiments tractable.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use osml_baselines::Parties;
+use osml_bench::scenario::bootstrap_allocation;
+use osml_platform::{Scheduler, Substrate, Topology};
+use osml_workloads::oaa::LatencyGrid;
+use osml_workloads::{LaunchSpec, Service, SimConfig, SimServer};
+use std::hint::black_box;
+
+fn loaded_server(n: usize) -> SimServer {
+    let mut server =
+        SimServer::new(SimConfig { noise_sigma: 0.0, seed: 1, ..SimConfig::default() });
+    let mix = [
+        (Service::Moses, 30.0),
+        (Service::ImgDnn, 25.0),
+        (Service::Xapian, 20.0),
+        (Service::MongoDb, 15.0),
+        (Service::Login, 10.0),
+        (Service::Specjbb, 20.0),
+    ];
+    for &(svc, pct) in mix.iter().take(n) {
+        let spec = LaunchSpec::at_percent_load(svc, pct);
+        let alloc = bootstrap_allocation(&mut server, spec.threads);
+        server.launch(spec, alloc).expect("valid bootstrap");
+    }
+    server
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate");
+    for n in [1usize, 4, 6] {
+        group.bench_function(format!("sim_tick_{n}_apps"), |b| {
+            let mut server = loaded_server(n);
+            b.iter(|| {
+                server.advance(1.0);
+                black_box(server.now())
+            })
+        });
+    }
+    let topo = Topology::xeon_e5_2697_v4();
+    group.bench_function("latency_grid_sweep_720_cells", |b| {
+        b.iter(|| black_box(LatencyGrid::sweep(&topo, Service::Moses, 16, 2200.0)))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("scheduler");
+    group.bench_function("parties_tick_4_apps", |b| {
+        b.iter_batched(
+            || {
+                let mut server = loaded_server(4);
+                let mut sched = Parties::new();
+                for id in server.apps() {
+                    sched.on_arrival(&mut server, id);
+                }
+                server.advance(1.0);
+                (server, sched)
+            },
+            |(mut server, mut sched)| {
+                sched.tick(&mut server);
+                black_box(sched.action_count())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

@@ -1,0 +1,227 @@
+//! Co-location heatmap grids (the paper's Figs. 10–12) and the EMU metric
+//! (Fig. 15).
+
+use crate::scenario::run_colocation;
+use osml_baselines::Oracle;
+use osml_platform::Scheduler;
+use osml_workloads::{LaunchSpec, Service};
+use serde::{Deserialize, Serialize};
+
+/// One policy's heatmap: for each `(x %, y %)` background combination, the
+/// maximum load of the probe service (in %, stepped) that keeps *every*
+/// co-located service within QoS. 0 means even the lowest step fails.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ColocationGrid {
+    /// Policy name.
+    pub policy: String,
+    /// Background service on the x axis.
+    pub x_service: Service,
+    /// Background service on the y axis.
+    pub y_service: Service,
+    /// Probe service whose max load fills the cells.
+    pub probe: Service,
+    /// Extra fixed background services (Figs. 11/12 add a fourth).
+    pub background: Vec<(Service, f64)>,
+    /// Load percentages along each axis.
+    pub steps: Vec<usize>,
+    /// `cells[y_idx][x_idx]` = max probe load %, 0 if infeasible.
+    pub cells: Vec<Vec<usize>>,
+}
+
+impl ColocationGrid {
+    /// Mean achievable aggregate load over all cells, in units of "one
+    /// service's max load" — the EMU flavour of Fig. 15 (PARTIES' Effective
+    /// Machine Utilization: the max aggregated load of all co-located
+    /// services).
+    pub fn mean_emu(&self) -> f64 {
+        let mut total = 0.0;
+        let mut n = 0usize;
+        let bg: f64 = self.background.iter().map(|&(_, pct)| pct).sum();
+        for (yi, row) in self.cells.iter().enumerate() {
+            for (xi, &cell) in row.iter().enumerate() {
+                if cell > 0 {
+                    total += (self.steps[xi] + self.steps[yi] + cell) as f64 + bg;
+                }
+                n += 1;
+            }
+        }
+        total / (100.0 * n as f64)
+    }
+}
+
+/// Builds one policy's grid by running full scenarios. `make_scheduler` is
+/// called per attempt so each cell starts from fresh scheduler state (models
+/// are cloned, not retrained).
+pub fn colocation_grid<Sched: Scheduler>(
+    policy: &str,
+    mut make_scheduler: impl FnMut() -> Sched,
+    x_service: Service,
+    y_service: Service,
+    probe: Service,
+    background: &[(Service, f64)],
+    steps: &[usize],
+    settle_ticks: usize,
+) -> ColocationGrid {
+    let mut cells = Vec::with_capacity(steps.len());
+    for &y in steps {
+        let mut row = Vec::with_capacity(steps.len());
+        for &x in steps {
+            row.push(max_probe_load(
+                &mut make_scheduler,
+                x_service,
+                y_service,
+                probe,
+                background,
+                x,
+                y,
+                steps,
+                settle_ticks,
+            ));
+        }
+        cells.push(row);
+    }
+    ColocationGrid {
+        policy: policy.to_owned(),
+        x_service,
+        y_service,
+        probe,
+        background: background.to_vec(),
+        steps: steps.to_vec(),
+        cells,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn max_probe_load<Sched: Scheduler>(
+    make_scheduler: &mut impl FnMut() -> Sched,
+    x_service: Service,
+    y_service: Service,
+    probe: Service,
+    background: &[(Service, f64)],
+    x_pct: usize,
+    y_pct: usize,
+    steps: &[usize],
+    settle_ticks: usize,
+) -> usize {
+    for &probe_pct in steps.iter().rev() {
+        let mut specs = vec![
+            LaunchSpec::at_percent_load(x_service, x_pct as f64),
+            LaunchSpec::at_percent_load(y_service, y_pct as f64),
+        ];
+        for &(svc, pct) in background {
+            specs.push(LaunchSpec::at_percent_load(svc, pct));
+        }
+        specs.push(LaunchSpec::at_percent_load(probe, probe_pct as f64));
+        let mut sched = make_scheduler();
+        let seed = (x_pct * 131 + y_pct * 17 + probe_pct) as u64;
+        if run_colocation(&mut sched, &specs, settle_ticks, seed).success() {
+            return probe_pct;
+        }
+    }
+    0
+}
+
+/// The Oracle's grid: feasibility by exhaustive static-partition search.
+pub fn oracle_grid(
+    x_service: Service,
+    y_service: Service,
+    probe: Service,
+    background: &[(Service, f64)],
+    steps: &[usize],
+) -> ColocationGrid {
+    let oracle = Oracle::new();
+    let mut cells = Vec::with_capacity(steps.len());
+    for &y in steps {
+        let mut row = Vec::with_capacity(steps.len());
+        for &x in steps {
+            // Feasibility is monotone in the probe load, so binary-search
+            // the step list instead of scanning (the exhaustive search is
+            // the expensive part of the Oracle panel).
+            let feasible = |probe_pct: usize| -> bool {
+                let mut specs = vec![
+                    LaunchSpec::at_percent_load(x_service, x as f64),
+                    LaunchSpec::at_percent_load(y_service, y as f64),
+                ];
+                for &(svc, pct) in background {
+                    specs.push(LaunchSpec::at_percent_load(svc, pct));
+                }
+                specs.push(LaunchSpec::at_percent_load(probe, probe_pct as f64));
+                oracle.best_partition(&specs).is_some()
+            };
+            let mut lo = 0usize; // index of highest known-feasible step (+1)
+            let mut hi = steps.len(); // index of lowest known-infeasible step
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                if feasible(steps[mid]) {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            row.push(if lo == 0 { 0 } else { steps[lo - 1] });
+        }
+        cells.push(row);
+    }
+    ColocationGrid {
+        policy: "oracle".to_owned(),
+        x_service,
+        y_service,
+        probe,
+        background: background.to_vec(),
+        steps: steps.to_vec(),
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osml_baselines::Unmanaged;
+
+    #[test]
+    fn grid_shapes_match_steps() {
+        let steps = [20usize, 60];
+        let grid = colocation_grid(
+            "unmanaged",
+            Unmanaged::new,
+            Service::ImgDnn,
+            Service::Xapian,
+            Service::Moses,
+            &[],
+            &steps,
+            10,
+        );
+        assert_eq!(grid.cells.len(), 2);
+        assert_eq!(grid.cells[0].len(), 2);
+        for row in &grid.cells {
+            for &c in row {
+                assert!(c == 0 || steps.contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_cells_shrink_with_background_load() {
+        let steps = [20usize, 80];
+        let grid = oracle_grid(Service::ImgDnn, Service::Xapian, Service::Moses, &[], &steps);
+        // Heavier background (row/col 80) cannot allow more probe load than
+        // the light one.
+        assert!(grid.cells[0][0] >= grid.cells[1][1]);
+    }
+
+    #[test]
+    fn emu_counts_feasible_cells() {
+        let grid = ColocationGrid {
+            policy: "x".into(),
+            x_service: Service::Moses,
+            y_service: Service::Xapian,
+            probe: Service::ImgDnn,
+            background: vec![],
+            steps: vec![50, 100],
+            cells: vec![vec![50, 0], vec![0, 0]],
+        };
+        // Single feasible cell: 50 + 50 + 50 = 150% => EMU contribution 1.5,
+        // averaged over 4 cells = 0.375.
+        assert!((grid.mean_emu() - 0.375).abs() < 1e-9);
+    }
+}

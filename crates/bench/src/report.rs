@@ -1,0 +1,122 @@
+//! Human-readable tables and machine-readable JSON output for the figure
+//! binaries.
+
+use crate::grid::ColocationGrid;
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Renders a co-location heatmap the way the paper's Figs. 10–12 panels
+/// read: rows are the y service's load, columns the x service's load, cells
+/// the probe service's max supported load ("." = infeasible).
+pub fn render_grid(grid: &ColocationGrid) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "[{}] max load of {} (%) vs x={} / y={}{}",
+        grid.policy,
+        grid.probe,
+        grid.x_service,
+        grid.y_service,
+        if grid.background.is_empty() {
+            String::new()
+        } else {
+            format!(
+                " (background: {})",
+                grid.background
+                    .iter()
+                    .map(|(s, p)| format!("{s}@{p:.0}%"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        }
+    );
+    let _ = write!(out, "{:>6} |", format!("y\\x"));
+    for &x in &grid.steps {
+        let _ = write!(out, "{x:>5}");
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "{}", "-".repeat(8 + 5 * grid.steps.len()));
+    for (yi, &y) in grid.steps.iter().enumerate() {
+        let _ = write!(out, "{y:>6} |");
+        for cell in &grid.cells[yi] {
+            if *cell == 0 {
+                let _ = write!(out, "{:>5}", ".");
+            } else {
+                let _ = write!(out, "{cell:>5}");
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Writes `value` as pretty JSON to `results/<name>.json` (creating the
+/// directory), returning the path. Panics on I/O errors — figure binaries
+/// have nothing useful to do without their output.
+pub fn save_json<T: Serialize>(name: &str, value: &T) -> PathBuf {
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir).expect("create results directory");
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize result");
+    std::fs::write(&path, json).expect("write result file");
+    path
+}
+
+/// Renders a simple aligned table from rows of strings.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    for (i, h) in headers.iter().enumerate() {
+        let _ = write!(out, "{:<w$}  ", h, w = widths[i]);
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            let _ = write!(out, "{:<w$}  ", cell, w = widths[i]);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osml_workloads::Service;
+
+    #[test]
+    fn grid_rendering_marks_infeasible_cells() {
+        let grid = ColocationGrid {
+            policy: "osml".into(),
+            x_service: Service::ImgDnn,
+            y_service: Service::Xapian,
+            probe: Service::Moses,
+            background: vec![],
+            steps: vec![10, 50],
+            cells: vec![vec![50, 10], vec![10, 0]],
+        };
+        let text = render_grid(&grid);
+        assert!(text.contains("osml"));
+        assert!(text.contains('.'), "infeasible cell must render as a dot:\n{text}");
+        assert!(text.contains("50"));
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let text = render_table(
+            &["service", "rps"],
+            &[vec!["moses".into(), "3000".into()], vec!["memcached".into(), "1280000".into()]],
+        );
+        assert!(text.lines().count() >= 4);
+        assert!(text.contains("memcached"));
+    }
+}

@@ -1,0 +1,166 @@
+//! Co-location scenarios: launch a set of services, let a scheduler settle
+//! them, and judge the steady state.
+
+pub use osml_core::bootstrap_allocation;
+use osml_platform::{AppId, Placement, Scheduler, Substrate};
+use osml_workloads::{LaunchSpec, Service, SimConfig, SimServer};
+use serde::{Deserialize, Serialize};
+
+/// Steady-state report for one service.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AppReport {
+    /// The service.
+    pub service: Service,
+    /// Offered load, RPS.
+    pub offered_rps: f64,
+    /// Final p95 latency, ms.
+    pub p95_ms: f64,
+    /// QoS target, ms.
+    pub qos_ms: f64,
+    /// Whether QoS was met at steady state.
+    pub qos_met: bool,
+    /// Final core count.
+    pub cores: usize,
+    /// Final way count.
+    pub ways: usize,
+}
+
+/// Outcome of a co-location scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioOutcome {
+    /// Whether every service was accepted (no migration requests at
+    /// placement time).
+    pub all_placed: bool,
+    /// Whether every placed service met QoS at steady state.
+    pub qos_ok: bool,
+    /// Total scheduling actions the policy took.
+    pub actions: usize,
+    /// Per-service detail.
+    pub apps: Vec<AppReport>,
+}
+
+impl ScenarioOutcome {
+    /// Whether the co-location fully succeeded (all placed, all within QoS).
+    pub fn success(&self) -> bool {
+        self.all_placed && self.qos_ok
+    }
+}
+
+/// Runs one co-location: services arrive in order, the scheduler places
+/// each (rejected services are migrated away, failing the scenario), then
+/// the machine runs for `settle_ticks` seconds of 1 Hz monitoring. The
+/// machine is noiseless, making grid cells deterministic; use
+/// [`run_colocation_with_noise`] for robustness studies.
+pub fn run_colocation<Sched: Scheduler>(
+    scheduler: &mut Sched,
+    specs: &[LaunchSpec],
+    settle_ticks: usize,
+    seed: u64,
+) -> ScenarioOutcome {
+    run_colocation_with_noise(scheduler, specs, settle_ticks, seed, 0.0)
+}
+
+/// [`run_colocation`] on a machine with trace noise (and the cache-warmup
+/// transients that come with it).
+pub fn run_colocation_with_noise<Sched: Scheduler>(
+    scheduler: &mut Sched,
+    specs: &[LaunchSpec],
+    settle_ticks: usize,
+    seed: u64,
+    noise_sigma: f64,
+) -> ScenarioOutcome {
+    let mut server = SimServer::new(SimConfig { noise_sigma, seed, ..SimConfig::default() });
+    let mut ids: Vec<AppId> = Vec::new();
+    let mut all_placed = true;
+    for &spec in specs {
+        let alloc = bootstrap_allocation(&mut server, spec.threads);
+        let id = server.launch(spec, alloc).expect("bootstrap allocation is valid");
+        server.advance(1.0);
+        match scheduler.on_arrival(&mut server, id) {
+            Placement::Placed => ids.push(id),
+            Placement::Rejected => {
+                // The upper-level scheduler migrates it elsewhere.
+                let _ = server.remove(id);
+                scheduler.on_departure(id);
+                all_placed = false;
+            }
+        }
+    }
+    for _ in 0..settle_ticks {
+        server.advance(1.0);
+        scheduler.tick(&mut server);
+    }
+    server.advance(1.0);
+
+    let apps: Vec<AppReport> = ids
+        .iter()
+        .filter_map(|&id| {
+            let lat = server.latency(id)?;
+            let alloc = server.allocation(id)?;
+            let spec = server.spec_of(id)?;
+            Some(AppReport {
+                service: spec.service,
+                offered_rps: spec.offered_rps,
+                p95_ms: lat.p95_ms,
+                qos_ms: lat.qos_target_ms,
+                qos_met: !lat.violates_qos(),
+                cores: alloc.cores.count(),
+                ways: alloc.ways.count(),
+            })
+        })
+        .collect();
+    let qos_ok = apps.iter().all(|a| a.qos_met);
+    ScenarioOutcome { all_placed, qos_ok, actions: scheduler.action_count(), apps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osml_baselines::{Parties, Unmanaged};
+
+    #[test]
+    fn light_colocation_succeeds_under_parties() {
+        let specs = [
+            LaunchSpec::at_percent_load(Service::Moses, 20.0),
+            LaunchSpec::at_percent_load(Service::Login, 20.0),
+        ];
+        let mut p = Parties::new();
+        let out = run_colocation(&mut p, &specs, 80, 1);
+        assert!(out.all_placed);
+        assert!(out.qos_ok, "{:?}", out.apps);
+        assert_eq!(out.apps.len(), 2);
+        assert!(out.actions >= 2);
+    }
+
+    #[test]
+    fn unmanaged_fails_where_isolation_matters() {
+        // Heavy cache-contending pair: unmanaged sharing should violate at
+        // least one QoS where a partitioned policy can succeed.
+        let specs = [
+            LaunchSpec::at_percent_load(Service::Moses, 70.0),
+            LaunchSpec::at_percent_load(Service::Specjbb, 70.0),
+        ];
+        let mut unmanaged = Unmanaged::new();
+        let shared = run_colocation(&mut unmanaged, &specs, 30, 2);
+        let mut parties = Parties::new();
+        let managed = run_colocation(&mut parties, &specs, 150, 2);
+        assert!(
+            managed.qos_ok as u8 >= shared.qos_ok as u8,
+            "managed {:?} vs unmanaged {:?}",
+            managed.qos_ok,
+            shared.qos_ok
+        );
+    }
+
+    #[test]
+    fn bootstrap_allocation_is_always_valid() {
+        let mut server = SimServer::deterministic();
+        for i in 0..6 {
+            let alloc = bootstrap_allocation(&mut server, 16);
+            assert!(alloc.validate(server.topology()).is_ok());
+            server
+                .launch(LaunchSpec::at_percent_load(Service::Login, 10.0 + i as f64), alloc)
+                .unwrap();
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! One-stop construction of a trained OSML scheduler for experiments.
+
+use osml_core::{Models, OsmlConfig, OsmlScheduler};
+use osml_dataset::{SweepConfig, TrainedModels, TrainingConfig};
+use osml_ml::TrainerConfig;
+use serde::{Deserialize, Serialize};
+
+/// How thoroughly to train the model suite before an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SuiteConfig {
+    /// Laptop-scale sweep (seconds); the default for figure regeneration.
+    Standard,
+    /// The paper's full sweep density (minutes of CPU).
+    Paper,
+}
+
+/// Trains the model suite and wraps it in an [`OsmlScheduler`].
+///
+/// Training is deterministic, so repeated calls (e.g. one per grid cell
+/// runner) produce identical schedulers; clone the returned scheduler
+/// instead where possible — it is cheap (a few thousand `f32`s).
+pub fn trained_suite(config: SuiteConfig) -> OsmlScheduler {
+    let sweep = match config {
+        SuiteConfig::Standard => SweepConfig::default(),
+        SuiteConfig::Paper => SweepConfig::paper(),
+    };
+    let training = TrainingConfig {
+        sweep,
+        trainer: TrainerConfig { epochs: 160, batch_size: 256, ..TrainerConfig::default() },
+        dqn_steps: 400,
+        seed: 0x05_11,
+    };
+    let trained = TrainedModels::train(&training);
+    let models = Models {
+        model_a: trained.model_a,
+        model_b: trained.model_b,
+        model_b_prime: trained.model_b_prime,
+        model_c: trained.model_c,
+    };
+    OsmlScheduler::new(models, OsmlConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_colocation;
+    use osml_workloads::{LaunchSpec, Service};
+
+    #[test]
+    fn standard_suite_schedules_a_light_colocation() {
+        let mut osml = trained_suite(SuiteConfig::Standard);
+        let specs = [
+            LaunchSpec::at_percent_load(Service::Moses, 30.0),
+            LaunchSpec::at_percent_load(Service::ImgDnn, 30.0),
+        ];
+        let out = run_colocation(&mut osml, &specs, 30, 3);
+        assert!(out.all_placed, "{out:?}");
+        assert!(out.qos_ok, "{:?}", out.apps);
+    }
+}

@@ -1,0 +1,275 @@
+//! Dynamic-load timelines (the paper's Figs. 4, 14 and 16): services arrive
+//! and depart over time, loads step, and the scheduler reacts second by
+//! second.
+
+use crate::scenario::bootstrap_allocation;
+use osml_platform::{AppId, Placement, Scheduler, Substrate};
+use osml_workloads::loadgen::ArrivalScript;
+use osml_workloads::{LaunchSpec, Service, SimConfig, SimServer};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One service's state at one timeline instant.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServicePoint {
+    /// The service.
+    pub service: Service,
+    /// p95 latency normalized to the QoS target (1.0 = at target).
+    pub latency_over_target: f64,
+    /// Raw p95 latency, ms.
+    pub p95_ms: f64,
+    /// Allocated cores.
+    pub cores: usize,
+    /// Allocated ways.
+    pub ways: usize,
+    /// Offered load, RPS.
+    pub offered_rps: f64,
+}
+
+/// One instant of a timeline run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimelineRecord {
+    /// Time, seconds.
+    pub time_s: f64,
+    /// Cumulative scheduler actions so far.
+    pub actions: usize,
+    /// Idle cores at this instant.
+    pub idle_cores: usize,
+    /// Unallocated ways at this instant.
+    pub idle_ways: usize,
+    /// Per-service state.
+    pub services: Vec<ServicePoint>,
+    /// Services migrated away so far (rejected placements).
+    pub migrated: Vec<Service>,
+}
+
+/// Runs an arrival script under a scheduler, sampling once per second.
+pub fn run_timeline<Sched: Scheduler>(
+    scheduler: &mut Sched,
+    script: &ArrivalScript,
+    seed: u64,
+) -> Vec<TimelineRecord> {
+    // Real traces jitter; the default ~2 % log-normal noise keeps schedulers
+    // honest (trial-and-error must distinguish real improvements from noise).
+    let mut server = SimServer::new(SimConfig { seed, ..SimConfig::default() });
+    let mut live: BTreeMap<usize, AppId> = BTreeMap::new(); // event idx -> app
+    let mut migrated: Vec<Service> = Vec::new();
+    let mut violating_since: BTreeMap<AppId, f64> = BTreeMap::new();
+    let mut records = Vec::new();
+
+    let mut t = 0.0f64;
+    while t <= script.duration_s {
+        // Departures.
+        for (idx, event) in script.events.iter().enumerate() {
+            if let Some(&id) = live.get(&idx) {
+                if t >= event.depart_s {
+                    let _ = server.remove(id);
+                    scheduler.on_departure(id);
+                    live.remove(&idx);
+                }
+            }
+        }
+        // Arrivals.
+        for (idx, event) in script.events.iter().enumerate() {
+            if !live.contains_key(&idx) && t >= event.arrive_s && t < event.depart_s
+                && !migrated.contains(&event.service)
+            {
+                let spec = LaunchSpec {
+                    service: event.service,
+                    threads: event.threads,
+                    offered_rps: event.load.rps_at(t).max(1e-3),
+                };
+                let alloc = bootstrap_allocation(&mut server, event.threads);
+                let id = server.launch(spec, alloc).expect("bootstrap allocation is valid");
+                match scheduler.on_arrival(&mut server, id) {
+                    Placement::Placed => {
+                        live.insert(idx, id);
+                    }
+                    Placement::Rejected => {
+                        let _ = server.remove(id);
+                        scheduler.on_departure(id);
+                        migrated.push(event.service);
+                    }
+                }
+            }
+        }
+        // Load updates.
+        for (idx, event) in script.events.iter().enumerate() {
+            if let Some(&id) = live.get(&idx) {
+                let rps = event.load.rps_at(t).max(1e-3);
+                let _ = server.set_load(id, rps);
+            }
+        }
+
+        server.advance(1.0);
+        t = server.now();
+        scheduler.tick(&mut server);
+
+        // Upper-level scheduler policy: a service in continuous violation
+        // for > 30 s is migrated to another node (the fate of Moses under
+        // PARTIES in the paper's Fig. 14).
+        let mut to_migrate: Vec<usize> = Vec::new();
+        for (&idx, &id) in &live {
+            let violating =
+                server.latency(id).map(|l| l.violates_qos()).unwrap_or(false);
+            if violating {
+                let since = *violating_since.entry(id).or_insert(t);
+                if t - since > 30.0 {
+                    to_migrate.push(idx);
+                }
+            } else {
+                violating_since.remove(&id);
+            }
+        }
+        for idx in to_migrate {
+            if let Some(id) = live.remove(&idx) {
+                let _ = server.remove(id);
+                scheduler.on_departure(id);
+                migrated.push(script.events[idx].service);
+                violating_since.remove(&id);
+            }
+        }
+
+        let services = live
+            .values()
+            .filter_map(|&id| {
+                let lat = server.latency(id)?;
+                let alloc = server.allocation(id)?;
+                let spec = server.spec_of(id)?;
+                Some(ServicePoint {
+                    service: spec.service,
+                    latency_over_target: lat.p95_ms / lat.qos_target_ms,
+                    p95_ms: lat.p95_ms,
+                    cores: alloc.cores.count(),
+                    ways: alloc.ways.count(),
+                    offered_rps: spec.offered_rps,
+                })
+            })
+            .collect();
+        records.push(TimelineRecord {
+            time_s: t,
+            actions: scheduler.action_count(),
+            idle_cores: server.idle_cores().count(),
+            idle_ways: server.idle_way_count(),
+            services,
+            migrated: migrated.clone(),
+        });
+    }
+    records
+}
+
+/// Summary statistics of a timeline: convergence time, peak violation,
+/// total actions — the quantities Figs. 4/15/16 compare.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimelineSummary {
+    /// Scheduler name.
+    pub policy: String,
+    /// Total scheduler actions over the run.
+    pub total_actions: usize,
+    /// Last time any service violated QoS (convergence point), s.
+    pub last_violation_s: Option<f64>,
+    /// Worst latency-over-target observed.
+    pub peak_violation: f64,
+    /// Fraction of (service, second) samples within QoS.
+    pub qos_fraction: f64,
+    /// Services migrated away.
+    pub migrations: usize,
+}
+
+impl TimelineSummary {
+    /// Summarizes a timeline run.
+    pub fn from_records(policy: &str, records: &[TimelineRecord]) -> TimelineSummary {
+        let mut last_violation = None;
+        let mut peak: f64 = 0.0;
+        let mut ok = 0usize;
+        let mut total = 0usize;
+        for r in records {
+            for s in &r.services {
+                total += 1;
+                if s.latency_over_target <= 1.0 {
+                    ok += 1;
+                } else {
+                    last_violation = Some(r.time_s);
+                }
+                peak = peak.max(s.latency_over_target);
+            }
+        }
+        TimelineSummary {
+            policy: policy.to_owned(),
+            total_actions: records.last().map(|r| r.actions).unwrap_or(0),
+            last_violation_s: last_violation,
+            peak_violation: peak,
+            qos_fraction: if total > 0 { ok as f64 / total as f64 } else { 1.0 },
+            migrations: records.last().map(|r| r.migrated.len()).unwrap_or(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osml_baselines::Parties;
+    use osml_workloads::loadgen::{ArrivalEvent, LoadSchedule};
+
+    fn light_script() -> ArrivalScript {
+        ArrivalScript::new(
+            vec![
+                ArrivalEvent {
+                    service: Service::Login,
+                    arrive_s: 0.0,
+                    depart_s: f64::INFINITY,
+                    threads: 8,
+                    load: LoadSchedule::Constant { rps: 300.0 },
+                },
+                ArrivalEvent {
+                    service: Service::Ads,
+                    arrive_s: 5.0,
+                    depart_s: 20.0,
+                    threads: 8,
+                    load: LoadSchedule::Constant { rps: 100.0 },
+                },
+            ],
+            40.0,
+        )
+    }
+
+    #[test]
+    fn timeline_tracks_arrivals_and_departures() {
+        let mut p = Parties::new();
+        let records = run_timeline(&mut p, &light_script(), 5);
+        assert!(!records.is_empty());
+        let at = |t: f64| -> usize {
+            records
+                .iter()
+                .min_by(|a, b| {
+                    (a.time_s - t).abs().total_cmp(&(b.time_s - t).abs())
+                })
+                .map(|r| r.services.len())
+                .unwrap()
+        };
+        assert_eq!(at(3.0), 1, "only login early");
+        assert_eq!(at(15.0), 2, "ads joined");
+        assert_eq!(at(30.0), 1, "ads departed");
+    }
+
+    #[test]
+    fn summary_reflects_qos() {
+        let mut p = Parties::new();
+        let records = run_timeline(&mut p, &light_script(), 6);
+        let summary = TimelineSummary::from_records("parties", &records);
+        assert!(summary.qos_fraction > 0.8, "{summary:?}");
+        assert!(summary.peak_violation >= 0.0);
+        assert_eq!(summary.migrations, 0);
+    }
+
+    #[test]
+    fn fig14_script_runs_to_completion() {
+        let mut p = Parties::new();
+        let records = run_timeline(&mut p, &ArrivalScript::fig14(), 7);
+        assert!(records.last().unwrap().time_s >= 299.0);
+        // By late in the run most services are live (some may have been
+        // migrated by the policy).
+        let late = records.last().unwrap();
+        assert!(late.services.len() + late.migrated.len() >= 5);
+    }
+}

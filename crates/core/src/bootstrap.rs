@@ -1,0 +1,23 @@
+//! Bootstrap allocation for a service that just arrived: a modest slice of
+//! idle resources for the profiling window, before Algorithm 1 decides the
+//! real allocation.
+
+use osml_platform::{Allocation, CoreSet, MbaThrottle, Substrate, WayMask};
+
+/// Picks a modest bootstrap allocation from idle resources for a newly
+/// launched service (the controller takes over right after the profiling
+/// window).
+pub fn bootstrap_allocation<S: Substrate>(server: &mut S, threads: usize) -> Allocation {
+    let topo = server.topology().clone();
+    let idle = server.idle_cores();
+    let want = threads.clamp(1, 8);
+    let cores = idle
+        .pick_spread(&topo, want.min(idle.count().max(1)))
+        .filter(|c| !c.is_empty())
+        .unwrap_or_else(|| CoreSet::first_n(2));
+    let ways = (1..=4usize)
+        .rev()
+        .find_map(|n| server.find_free_ways(n, None))
+        .unwrap_or_else(|| WayMask::all(&topo));
+    Allocation::new(cores, ways, MbaThrottle::unthrottled())
+}

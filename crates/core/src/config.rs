@@ -1,0 +1,78 @@
+use serde::{Deserialize, Serialize};
+
+/// Tunables of the OSML controller. Defaults follow the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OsmlConfig {
+    /// Seconds of counter sampling before Model-A is consulted for a new
+    /// service (§V-B: 2 s by default; shorter windows pick up cache-warmup
+    /// and context-switch noise).
+    pub sampling_window_s: f64,
+    /// QoS slowdown OSML is willing to impose on a neighbour when depriving
+    /// resources through Model-B (Algorithm 1, line 11: "can tolerate a
+    /// certain QoS slowdown").
+    pub deprive_slowdown_budget: f64,
+    /// Maximum neighbours involved in one B-point match (Algorithm 1,
+    /// line 17: "at most 3 apps involved; the less the better").
+    pub max_deprived_apps: usize,
+    /// Neighbour slowdown beyond which Algorithm 4 refuses to share and
+    /// requests a migration instead.
+    pub sharing_slowdown_budget: f64,
+    /// Surplus margin of Algorithm 3: reclamation starts only when a
+    /// service holds more than `RCliff + margin` in both dimensions
+    /// (line 2: "> its RCliff's + 2").
+    pub surplus_margin: usize,
+    /// Whether to program MBA throttles from Model-A's OAA bandwidth
+    /// (§V-B). Disable on substrates without MBA.
+    pub manage_bandwidth: bool,
+    /// Whether Model-C keeps training online from observed transitions.
+    pub online_learning: bool,
+    /// Ablation switch: when false, ineffective growth actions are not
+    /// withdrawn and re-blocked (the trial-withdrawal mechanism this
+    /// reproduction layers on Model-C; §V-A's "the corresponding actions
+    /// will be withdrawn").
+    pub withdraw_ineffective_growth: bool,
+    /// Ablation switch (§IV-D "Why don't we use Model-C directly?"):
+    /// when false, Algorithm 1 skips Model-A/B and leaves the newcomer on
+    /// its bootstrap allocation, forcing Model-C to explore from scratch.
+    pub placement_via_models: bool,
+}
+
+impl Default for OsmlConfig {
+    fn default() -> Self {
+        OsmlConfig {
+            sampling_window_s: 2.0,
+            deprive_slowdown_budget: 0.15,
+            max_deprived_apps: 3,
+            sharing_slowdown_budget: 0.35,
+            surplus_margin: 2,
+            manage_bandwidth: true,
+            online_learning: true,
+            withdraw_ineffective_growth: true,
+            placement_via_models: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_follow_the_paper() {
+        let c = OsmlConfig::default();
+        assert_eq!(c.sampling_window_s, 2.0);
+        assert!(c.deprive_slowdown_budget > 0.0 && c.sharing_slowdown_budget > c.deprive_slowdown_budget);
+        assert_eq!(c.max_deprived_apps, 3);
+        assert_eq!(c.surplus_margin, 2);
+        assert!(c.manage_bandwidth);
+        assert!(c.online_learning);
+    }
+
+    #[test]
+    fn config_round_trips_through_serde() {
+        let c = OsmlConfig { sampling_window_s: 1.0, ..OsmlConfig::default() };
+        let back: OsmlConfig =
+            serde_json::from_str(&serde_json::to_string(&c).unwrap()).unwrap();
+        assert_eq!(back, c);
+    }
+}

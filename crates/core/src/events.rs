@@ -1,0 +1,135 @@
+use osml_platform::AppId;
+use serde::{Deserialize, Serialize};
+
+/// One scheduling decision or observation, for experiment post-processing
+/// (the paper's Fig. 13 resource-usage traces and Fig. 16 case study are
+/// read straight off this log).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A new service was profiled and Model-A produced a prediction.
+    Profiled {
+        /// Predicted OAA cores.
+        oaa_cores: usize,
+        /// Predicted OAA ways.
+        oaa_ways: usize,
+        /// Predicted RCliff cores.
+        rcliff_cores: usize,
+        /// Predicted RCliff ways.
+        rcliff_ways: usize,
+    },
+    /// The service received an allocation.
+    Placed {
+        /// Allocated cores.
+        cores: usize,
+        /// Allocated ways.
+        ways: usize,
+    },
+    /// A neighbour was deprived of resources through Model-B.
+    Deprived {
+        /// Cores taken.
+        cores: usize,
+        /// Ways taken.
+        ways: usize,
+    },
+    /// Model-C grew the service's allocation (Algorithm 2).
+    Grew {
+        /// Core delta applied.
+        dcores: i32,
+        /// Way delta applied.
+        dways: i32,
+    },
+    /// Model-C reclaimed surplus resources (Algorithm 3).
+    Reclaimed {
+        /// Core delta applied (≤ 0).
+        dcores: i32,
+        /// Way delta applied (≤ 0).
+        dways: i32,
+    },
+    /// A reclamation broke QoS and was withdrawn (Algorithm 3, line 8).
+    RolledBack,
+    /// The service was granted shared resources with a neighbour
+    /// (Algorithm 4).
+    SharingEnabled {
+        /// The neighbour whose resources are shared.
+        neighbor: AppId,
+        /// Cores shared.
+        cores: usize,
+        /// Ways shared.
+        ways: usize,
+    },
+    /// No acceptable allocation exists; the upper scheduler should migrate
+    /// the service.
+    MigrationRequested,
+    /// MBA throttles were re-partitioned (§V-B bandwidth scheduling).
+    BandwidthRepartitioned,
+}
+
+/// A timestamped log entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogEntry {
+    /// Simulated time of the event, seconds.
+    pub time_s: f64,
+    /// The service the event concerns (`None` for machine-wide events).
+    pub app: Option<AppId>,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// An append-only event log.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EventLog {
+    entries: Vec<LogEntry>,
+}
+
+impl EventLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        EventLog::default()
+    }
+
+    /// Appends an entry.
+    pub fn push(&mut self, time_s: f64, app: Option<AppId>, kind: EventKind) {
+        self.entries.push(LogEntry { time_s, app, kind });
+    }
+
+    /// All entries in order.
+    pub fn entries(&self) -> &[LogEntry] {
+        &self.entries
+    }
+
+    /// Entries concerning one service.
+    pub fn for_app(&self, id: AppId) -> impl Iterator<Item = &LogEntry> {
+        self.entries.iter().filter(move |e| e.app == Some(id))
+    }
+
+    /// Number of entries matching a predicate on the kind.
+    pub fn count_kind(&self, mut pred: impl FnMut(&EventKind) -> bool) -> usize {
+        self.entries.iter().filter(|e| pred(&e.kind)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_preserves_order_and_filters() {
+        let mut log = EventLog::new();
+        log.push(1.0, Some(AppId(1)), EventKind::Placed { cores: 4, ways: 4 });
+        log.push(2.0, Some(AppId(2)), EventKind::MigrationRequested);
+        log.push(3.0, Some(AppId(1)), EventKind::RolledBack);
+        assert_eq!(log.entries().len(), 3);
+        assert_eq!(log.for_app(AppId(1)).count(), 2);
+        assert_eq!(log.count_kind(|k| matches!(k, EventKind::MigrationRequested)), 1);
+        assert!(log.entries()[0].time_s < log.entries()[2].time_s);
+    }
+
+    #[test]
+    fn log_serializes() {
+        let mut log = EventLog::new();
+        log.push(0.5, None, EventKind::BandwidthRepartitioned);
+        let back: EventLog =
+            serde_json::from_str(&serde_json::to_string(&log).unwrap()).unwrap();
+        assert_eq!(back, log);
+    }
+}

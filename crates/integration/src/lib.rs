@@ -1,0 +1,1 @@
+//! Cross-crate integration tests for the OSML reproduction live in `tests/`.

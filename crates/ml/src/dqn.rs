@@ -1,0 +1,424 @@
+//! Deep Q-Network machinery for Model-C (§IV-C of the paper).
+//!
+//! Model-C contains two neural networks — a **Policy Network** and a
+//! structurally identical **Target Network** — plus an **Experience Pool**.
+//! Each scheduling step the policy network scores every action
+//! (`Q(action)`), the best-scoring action is executed (or, with 5 %
+//! probability, a random one, to escape local optima), and the observed
+//! `<Status, Action, Reward, Status'>` tuple lands in the pool. Online
+//! training samples 200 tuples and minimizes
+//! `(Reward + γ·max Q_target(Status', a') − Q_policy(Status, Action))²`,
+//! after which the target network is refreshed.
+//!
+//! The action semantics (Δcores/Δways in [-3, 3]) and the reward function
+//! live in `osml-models`; this module is a generic, deterministic DQN.
+
+use crate::loss::Mse;
+use crate::{Adam, AdamConfig, Matrix, Mlp, MlpConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a [`Dqn`] agent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DqnConfig {
+    /// State vector width.
+    pub state_dim: usize,
+    /// Number of discrete actions.
+    pub num_actions: usize,
+    /// Hidden-layer widths (the paper uses `[30, 30, 30]`).
+    pub hidden: Vec<usize>,
+    /// Discount factor γ.
+    pub gamma: f32,
+    /// Exploration probability ε (the paper uses 0.05).
+    pub epsilon: f64,
+    /// Capacity of the experience pool (a ring buffer).
+    pub replay_capacity: usize,
+    /// Tuples sampled per online-training step (the paper uses 200).
+    pub batch_size: usize,
+    /// Policy-network updates between target-network syncs.
+    pub target_sync_every: usize,
+    /// Adam hyper-parameters for the policy network.
+    pub adam: AdamConfig,
+    /// Seed for initialization, exploration and replay sampling.
+    pub seed: u64,
+}
+
+impl DqnConfig {
+    /// The paper's Model-C configuration for the given state/action sizes.
+    pub fn paper(state_dim: usize, num_actions: usize, seed: u64) -> Self {
+        DqnConfig {
+            state_dim,
+            num_actions,
+            hidden: vec![30, 30, 30],
+            gamma: 0.9,
+            epsilon: 0.05,
+            replay_capacity: 10_000,
+            batch_size: 200,
+            target_sync_every: 20,
+            adam: AdamConfig::default(),
+            seed,
+        }
+    }
+}
+
+/// One experience tuple `<Status, Action, Reward, Status'>`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Transition {
+    /// State before the action.
+    pub state: Vec<f32>,
+    /// Index of the action taken.
+    pub action: usize,
+    /// Reward observed.
+    pub reward: f32,
+    /// State after the action.
+    pub next_state: Vec<f32>,
+}
+
+/// The Experience Pool: a fixed-capacity ring buffer of transitions.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ReplayBuffer {
+    capacity: usize,
+    items: Vec<Transition>,
+    write: usize,
+}
+
+impl ReplayBuffer {
+    /// Creates a buffer holding at most `capacity` transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "replay capacity must be positive");
+        ReplayBuffer { capacity, items: Vec::with_capacity(capacity), write: 0 }
+    }
+
+    /// Stores a transition, evicting the oldest once full.
+    pub fn push(&mut self, t: Transition) {
+        if self.items.len() < self.capacity {
+            self.items.push(t);
+        } else {
+            self.items[self.write] = t;
+        }
+        self.write = (self.write + 1) % self.capacity;
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Samples `n` transitions uniformly with replacement.
+    pub fn sample<'a>(&'a self, n: usize, rng: &mut StdRng) -> Vec<&'a Transition> {
+        (0..n).map(|_| &self.items[rng.gen_range(0..self.items.len())]).collect()
+    }
+}
+
+/// A Deep Q-Network agent: policy network, target network, experience pool.
+///
+/// # Example
+///
+/// ```
+/// use osml_ml::dqn::{Dqn, DqnConfig, Transition};
+///
+/// let mut agent = Dqn::new(DqnConfig::paper(4, 3, 42));
+/// let state = vec![0.1, 0.2, 0.3, 0.4];
+/// let action = agent.select_action(&state);
+/// assert!(action < 3);
+/// agent.observe(Transition { state, action, reward: 1.0, next_state: vec![0.0; 4] });
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dqn {
+    config: DqnConfig,
+    policy: Mlp,
+    target: Mlp,
+    replay: ReplayBuffer,
+    adam: Adam,
+    rng: StdRng,
+    updates: usize,
+}
+
+impl Dqn {
+    /// Creates an agent with freshly initialized, identical policy and
+    /// target networks.
+    pub fn new(config: DqnConfig) -> Self {
+        let mut sizes = vec![config.state_dim];
+        sizes.extend_from_slice(&config.hidden);
+        sizes.push(config.num_actions);
+        let policy = Mlp::new(&MlpConfig::new(&sizes, config.seed));
+        let target = policy.clone();
+        let adam = Adam::new(&policy, config.adam);
+        let replay = ReplayBuffer::new(config.replay_capacity);
+        let rng = StdRng::seed_from_u64(config.seed ^ 0x9e37_79b9_7f4a_7c15);
+        Dqn { config, policy, target, replay, adam, rng, updates: 0 }
+    }
+
+    /// The agent's configuration.
+    pub fn config(&self) -> &DqnConfig {
+        &self.config
+    }
+
+    /// Q-values of every action in `state`, from the policy network.
+    pub fn q_values(&self, state: &[f32]) -> Vec<f32> {
+        self.policy.forward(state)
+    }
+
+    /// The greedy (best-Q) action.
+    pub fn best_action(&self, state: &[f32]) -> usize {
+        argmax(&self.q_values(state))
+    }
+
+    /// ε-greedy action selection: the best action, or with probability ε a
+    /// uniformly random one ("OSML can avoid falling into a local optimum",
+    /// §IV-C).
+    pub fn select_action(&mut self, state: &[f32]) -> usize {
+        if self.rng.gen_bool(self.config.epsilon) {
+            self.rng.gen_range(0..self.config.num_actions)
+        } else {
+            self.best_action(state)
+        }
+    }
+
+    /// Adds a transition to the experience pool.
+    pub fn observe(&mut self, t: Transition) {
+        assert_eq!(t.state.len(), self.config.state_dim, "state width mismatch");
+        assert_eq!(t.next_state.len(), self.config.state_dim, "state width mismatch");
+        assert!(t.action < self.config.num_actions, "action out of range");
+        self.replay.push(t);
+    }
+
+    /// Number of transitions currently pooled.
+    pub fn pool_len(&self) -> usize {
+        self.replay.len()
+    }
+
+    /// One online-training step: samples a batch, regresses the policy
+    /// network toward the Bellman targets, and periodically syncs the target
+    /// network. Returns the batch TD loss, or `None` if the pool holds fewer
+    /// than a batch of transitions.
+    pub fn train_step(&mut self) -> Option<f32> {
+        if self.replay.len() < self.config.batch_size {
+            return None;
+        }
+        let batch = self.replay.sample(self.config.batch_size, &mut self.rng);
+        let n = batch.len();
+        let dim = self.config.state_dim;
+        let mut states = Matrix::zeros(n, dim);
+        let mut next_states = Matrix::zeros(n, dim);
+        for (i, t) in batch.iter().enumerate() {
+            states.row_mut(i).copy_from_slice(&t.state);
+            next_states.row_mut(i).copy_from_slice(&t.next_state);
+        }
+        // Bellman targets: start from current predictions so that only the
+        // taken action receives gradient.
+        let mut labels = self.policy.forward_batch(&states);
+        let next_q = self.target.forward_batch(&next_states);
+        for (i, t) in batch.iter().enumerate() {
+            let max_next = next_q.row(i).iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            labels[(i, t.action)] = t.reward + self.config.gamma * max_next;
+        }
+        let loss = self.policy.train_batch(&states, &labels, &Mse, &mut self.adam);
+        self.updates += 1;
+        if self.updates % self.config.target_sync_every == 0 {
+            self.sync_target();
+        }
+        Some(loss)
+    }
+
+    /// Copies the policy network into the target network.
+    pub fn sync_target(&mut self) {
+        self.target = self.policy.clone();
+    }
+
+    /// Read access to the policy network (for persistence).
+    pub fn policy(&self) -> &Mlp {
+        &self.policy
+    }
+
+    /// Replaces both networks with `policy` (used when loading a trained
+    /// agent from disk).
+    pub fn load_policy(&mut self, policy: Mlp) {
+        assert_eq!(policy.input_size(), self.config.state_dim, "state width mismatch");
+        assert_eq!(policy.output_size(), self.config.num_actions, "action count mismatch");
+        self.adam = Adam::new(&policy, self.config.adam);
+        self.target = policy.clone();
+        self.policy = policy;
+    }
+}
+
+fn argmax(values: &[f32]) -> usize {
+    values
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .expect("non-empty action set")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_buffer_is_a_ring() {
+        let mut rb = ReplayBuffer::new(3);
+        for i in 0..5 {
+            rb.push(Transition {
+                state: vec![i as f32],
+                action: 0,
+                reward: 0.0,
+                next_state: vec![0.0],
+            });
+        }
+        assert_eq!(rb.len(), 3);
+        // Items 0 and 1 were evicted.
+        let remaining: Vec<f32> = rb.items.iter().map(|t| t.state[0]).collect();
+        assert!(remaining.contains(&2.0) && remaining.contains(&3.0) && remaining.contains(&4.0));
+    }
+
+    #[test]
+    fn epsilon_zero_is_always_greedy() {
+        let mut cfg = DqnConfig::paper(2, 4, 1);
+        cfg.epsilon = 0.0;
+        let mut agent = Dqn::new(cfg);
+        let s = vec![0.5, -0.5];
+        let greedy = agent.best_action(&s);
+        for _ in 0..50 {
+            assert_eq!(agent.select_action(&s), greedy);
+        }
+    }
+
+    #[test]
+    fn epsilon_one_explores_uniformly() {
+        let mut cfg = DqnConfig::paper(2, 4, 2);
+        cfg.epsilon = 1.0;
+        let mut agent = Dqn::new(cfg);
+        let s = vec![0.0, 0.0];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[agent.select_action(&s)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all actions should be explored: {seen:?}");
+    }
+
+    #[test]
+    fn train_step_requires_a_full_batch() {
+        let mut cfg = DqnConfig::paper(2, 2, 3);
+        cfg.batch_size = 10;
+        let mut agent = Dqn::new(cfg);
+        assert_eq!(agent.train_step(), None);
+        for i in 0..10 {
+            agent.observe(Transition {
+                state: vec![i as f32, 0.0],
+                action: i % 2,
+                reward: 0.0,
+                next_state: vec![0.0, 0.0],
+            });
+        }
+        assert!(agent.train_step().is_some());
+    }
+
+    #[test]
+    fn dqn_learns_a_two_armed_bandit() {
+        // Single state; action 1 pays 1.0, action 0 pays 0.0. The greedy
+        // policy must converge to action 1.
+        let mut cfg = DqnConfig::paper(1, 2, 7);
+        cfg.batch_size = 32;
+        cfg.gamma = 0.0; // bandit: no bootstrapping needed
+        let mut agent = Dqn::new(cfg);
+        let s = vec![1.0];
+        for _ in 0..200 {
+            let a = agent.select_action(&s);
+            let r = if a == 1 { 1.0 } else { 0.0 };
+            agent.observe(Transition {
+                state: s.clone(),
+                action: a,
+                reward: r,
+                next_state: s.clone(),
+            });
+            agent.train_step();
+        }
+        assert_eq!(agent.best_action(&s), 1, "q-values: {:?}", agent.q_values(&s));
+    }
+
+    #[test]
+    fn dqn_propagates_reward_through_gamma() {
+        // Two states: acting "right" (1) in state 0 leads to state 1 where
+        // any action yields reward 1. With gamma > 0, state 0's Q for action
+        // 1 must exceed action 0's (which self-loops with no reward).
+        let mut cfg = DqnConfig::paper(1, 2, 11);
+        cfg.batch_size = 32;
+        cfg.gamma = 0.9;
+        cfg.epsilon = 0.3;
+        let mut agent = Dqn::new(cfg);
+        let s0 = vec![0.0];
+        let s1 = vec![1.0];
+        for _ in 0..400 {
+            // Transitions from s0.
+            let a = agent.select_action(&s0);
+            let (r, next) = if a == 1 { (0.0, s1.clone()) } else { (0.0, s0.clone()) };
+            agent.observe(Transition { state: s0.clone(), action: a, reward: r, next_state: next });
+            // Terminal-ish reward at s1 (both actions pay; self-loop).
+            agent.observe(Transition {
+                state: s1.clone(),
+                action: 0,
+                reward: 1.0,
+                next_state: s1.clone(),
+            });
+            agent.train_step();
+        }
+        let q = agent.q_values(&s0);
+        assert!(q[1] > q[0], "gamma must propagate future reward: {q:?}");
+    }
+
+    #[test]
+    fn target_network_syncs_on_schedule() {
+        let mut cfg = DqnConfig::paper(1, 2, 13);
+        cfg.batch_size = 4;
+        cfg.target_sync_every = 2;
+        let mut agent = Dqn::new(cfg);
+        for i in 0..8 {
+            agent.observe(Transition {
+                state: vec![i as f32],
+                action: 0,
+                reward: 1.0,
+                next_state: vec![0.0],
+            });
+        }
+        agent.train_step();
+        assert_ne!(agent.policy.forward(&[1.0]), agent.target.forward(&[1.0]));
+        agent.train_step(); // update 2: sync
+        assert_eq!(agent.policy.forward(&[1.0]), agent.target.forward(&[1.0]));
+    }
+
+    #[test]
+    fn load_policy_replaces_both_networks() {
+        let cfg = DqnConfig::paper(2, 3, 17);
+        let mut agent = Dqn::new(cfg.clone());
+        let other = Dqn::new(DqnConfig { seed: 99, ..cfg });
+        agent.load_policy(other.policy().clone());
+        assert_eq!(agent.q_values(&[0.1, 0.2]), other.q_values(&[0.1, 0.2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "action out of range")]
+    fn observe_validates_action() {
+        let mut agent = Dqn::new(DqnConfig::paper(1, 2, 0));
+        agent.observe(Transition { state: vec![0.0], action: 5, reward: 0.0, next_state: vec![0.0] });
+    }
+
+    #[test]
+    fn selection_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut agent = Dqn::new(DqnConfig::paper(2, 5, seed));
+            (0..20).map(|i| agent.select_action(&[i as f32, 0.0])).collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3));
+    }
+}

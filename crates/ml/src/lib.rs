@@ -1,0 +1,53 @@
+//! From-scratch neural-network machinery for the OSML reproduction.
+//!
+//! The paper trains its models with TensorFlow 1.13 on a GTX 1080; the
+//! networks themselves are tiny (3 hidden layers of 40 neurons for
+//! Model-A/B, 3 × 30 for Model-C's DQN), so this crate implements the exact
+//! math in portable Rust instead:
+//!
+//! * [`Matrix`] — a minimal row-major `f32` matrix,
+//! * [`Mlp`] — a multi-layer perceptron with ReLU hidden activations and a
+//!   linear output layer, with full backpropagation,
+//! * [`loss`] — MSE (Model-A, §IV-A) and the paper's zero-masked relative
+//!   loss for Model-B (§IV-B): `L = 1/n Σ ((y/(y+C)) (s - y))²`,
+//! * [`Adam`] — the Adam optimizer exactly as written in §IV-A, including
+//!   the bias-correction step,
+//! * [`Trainer`] — seeded mini-batch training with validation metrics,
+//! * [`dqn`] — a Deep Q-Network (policy + target nets, experience replay,
+//!   ε-greedy exploration) matching Model-C's structure (§IV-C),
+//! * [`store`] — versioned on-disk persistence for trained networks.
+//!
+//! Everything is deterministic given a seed.
+//!
+//! # Example
+//!
+//! ```
+//! use osml_ml::{loss::Mse, Adam, Matrix, Mlp, MlpConfig};
+//!
+//! // Learn y = 2x on a tiny net.
+//! let mut mlp = Mlp::new(&MlpConfig::new(&[1, 8, 1], 42));
+//! let mut adam = Adam::with_defaults(&mlp);
+//! let x = Matrix::from_rows(&[&[0.0], &[0.5], &[1.0], &[1.5]]);
+//! let y = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0]]);
+//! for _ in 0..3000 {
+//!     mlp.train_batch(&x, &y, &Mse, &mut adam);
+//! }
+//! let pred = mlp.forward(&[1.25]);
+//! assert!((pred[0] - 2.5).abs() < 0.2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dqn;
+pub mod loss;
+pub mod store;
+mod matrix;
+mod mlp;
+mod optimizer;
+mod trainer;
+
+pub use matrix::Matrix;
+pub use mlp::{Mlp, MlpConfig};
+pub use optimizer::{Adam, AdamConfig, Sgd};
+pub use trainer::{Metrics, TrainReport, Trainer, TrainerConfig};

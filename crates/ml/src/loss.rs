@@ -1,0 +1,185 @@
+//! Loss functions: standard MSE (Model-A) and the paper's zero-masked
+//! relative loss (Model-B / Model-B').
+
+use crate::Matrix;
+
+/// A differentiable loss over a batch of predictions.
+///
+/// Implementations return the scalar batch loss and the gradient
+/// `∂L/∂prediction` with the same shape as the prediction matrix.
+pub trait Loss {
+    /// Scalar loss over the batch.
+    fn value(&self, prediction: &Matrix, target: &Matrix) -> f32;
+    /// Gradient of the loss w.r.t. each prediction element.
+    fn gradient(&self, prediction: &Matrix, target: &Matrix) -> Matrix;
+}
+
+/// Mean squared error, `L = 1/n Σ (s - y)²` — the Model-A loss (§IV-A).
+///
+/// `n` counts elements, so multi-output heads are averaged uniformly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Mse;
+
+impl Loss for Mse {
+    fn value(&self, prediction: &Matrix, target: &Matrix) -> f32 {
+        assert_eq!(prediction.dims(), target.dims(), "loss shape mismatch");
+        let n = prediction.as_slice().len() as f32;
+        prediction
+            .as_slice()
+            .iter()
+            .zip(target.as_slice())
+            .map(|(&s, &y)| (s - y) * (s - y))
+            .sum::<f32>()
+            / n
+    }
+
+    fn gradient(&self, prediction: &Matrix, target: &Matrix) -> Matrix {
+        assert_eq!(prediction.dims(), target.dims(), "loss shape mismatch");
+        let n = prediction.as_slice().len() as f32;
+        let (rows, cols) = prediction.dims();
+        let data = prediction
+            .as_slice()
+            .iter()
+            .zip(target.as_slice())
+            .map(|(&s, &y)| 2.0 * (s - y) / n)
+            .collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+}
+
+/// The paper's Model-B loss (§IV-B):
+///
+/// ```text
+/// L = 1/n Σ ( y/(y + C) · (s - y) )²
+/// ```
+///
+/// with `C` infinitesimally small. Non-existent resource-trading cases are
+/// labelled `y = 0` during data collection; the `y/(y+C)` factor zeroes
+/// their contribution (and their gradient), so backpropagation never adjusts
+/// weights toward fictitious labels while real labels (`y > 0`, where
+/// `y/(y+C) ≈ 1`) train normally.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaskedRelativeMse {
+    /// The constant `C`; the paper wants it "infinitely close to zero".
+    pub c: f32,
+}
+
+impl Default for MaskedRelativeMse {
+    fn default() -> Self {
+        MaskedRelativeMse { c: 1e-6 }
+    }
+}
+
+impl MaskedRelativeMse {
+    fn weight(&self, y: f32) -> f32 {
+        y / (y + self.c)
+    }
+}
+
+impl Loss for MaskedRelativeMse {
+    fn value(&self, prediction: &Matrix, target: &Matrix) -> f32 {
+        assert_eq!(prediction.dims(), target.dims(), "loss shape mismatch");
+        let n = prediction.as_slice().len() as f32;
+        prediction
+            .as_slice()
+            .iter()
+            .zip(target.as_slice())
+            .map(|(&s, &y)| {
+                let e = self.weight(y) * (s - y);
+                e * e
+            })
+            .sum::<f32>()
+            / n
+    }
+
+    fn gradient(&self, prediction: &Matrix, target: &Matrix) -> Matrix {
+        assert_eq!(prediction.dims(), target.dims(), "loss shape mismatch");
+        let n = prediction.as_slice().len() as f32;
+        let (rows, cols) = prediction.dims();
+        let data = prediction
+            .as_slice()
+            .iter()
+            .zip(target.as_slice())
+            .map(|(&s, &y)| {
+                let w = self.weight(y);
+                2.0 * w * w * (s - y) / n
+            })
+            .collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_of_perfect_prediction_is_zero() {
+        let p = Matrix::from_rows(&[&[1.0, 2.0]]);
+        assert_eq!(Mse.value(&p, &p), 0.0);
+        assert!(Mse.gradient(&p, &p).as_slice().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn mse_value_and_gradient_match_hand_computation() {
+        let p = Matrix::from_rows(&[&[3.0, 0.0]]);
+        let y = Matrix::from_rows(&[&[1.0, 0.0]]);
+        // L = ((3-1)^2 + 0) / 2 = 2
+        assert_eq!(Mse.value(&p, &y), 2.0);
+        // dL/ds0 = 2*(3-1)/2 = 2
+        assert_eq!(Mse.gradient(&p, &y).as_slice(), &[2.0, 0.0]);
+    }
+
+    #[test]
+    fn masked_loss_ignores_zero_labels() {
+        let loss = MaskedRelativeMse::default();
+        let p = Matrix::from_rows(&[&[5.0, 5.0]]);
+        let y = Matrix::from_rows(&[&[0.0, 5.0]]);
+        // The y=0 column contributes ~nothing despite the 5.0 error.
+        assert!(loss.value(&p, &y) < 1e-6);
+        let g = loss.gradient(&p, &y);
+        assert!(g[(0, 0)].abs() < 1e-6, "zero label must not generate gradient");
+    }
+
+    #[test]
+    fn masked_loss_trains_nonzero_labels_like_mse() {
+        let loss = MaskedRelativeMse::default();
+        let p = Matrix::from_rows(&[&[3.0]]);
+        let y = Matrix::from_rows(&[&[1.0]]);
+        // weight ≈ 1, so value ≈ (3-1)^2 / 1 = 4, gradient ≈ 4.
+        assert!((loss.value(&p, &y) - 4.0).abs() < 1e-4);
+        assert!((loss.gradient(&p, &y)[(0, 0)] - 4.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gradients_agree_with_finite_differences() {
+        let losses: Vec<Box<dyn Loss>> =
+            vec![Box::new(Mse), Box::new(MaskedRelativeMse::default())];
+        let y = Matrix::from_rows(&[&[1.0, 0.0, 2.5]]);
+        let p0 = Matrix::from_rows(&[&[0.7, 0.4, 3.1]]);
+        let eps = 1e-3f32;
+        for loss in &losses {
+            let analytic = loss.gradient(&p0, &y);
+            for i in 0..3 {
+                let mut plus = p0.clone();
+                plus.as_mut_slice()[i] += eps;
+                let mut minus = p0.clone();
+                minus.as_mut_slice()[i] -= eps;
+                let numeric = (loss.value(&plus, &y) - loss.value(&minus, &y)) / (2.0 * eps);
+                assert!(
+                    (numeric - analytic.as_slice()[i]).abs() < 1e-2,
+                    "finite-difference mismatch at {i}: {numeric} vs {}",
+                    analytic.as_slice()[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_mismatch_panics() {
+        let p = Matrix::zeros(1, 2);
+        let y = Matrix::zeros(1, 3);
+        let _ = Mse.value(&p, &y);
+    }
+}

@@ -1,0 +1,351 @@
+use crate::loss::Loss;
+use crate::optimizer::Optimizer;
+use crate::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Architecture of an [`Mlp`]: layer widths from input to output, plus the
+/// weight-initialization seed.
+///
+/// The paper's Model-A/B use `[input, 40, 40, 40, output]`; Model-C's policy
+/// and target networks use `[input, 30, 30, 30, |actions|]`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MlpConfig {
+    /// Layer widths, `[input, hidden..., output]`. At least two entries.
+    pub layer_sizes: Vec<usize>,
+    /// Seed for Xavier weight initialization.
+    pub seed: u64,
+}
+
+impl MlpConfig {
+    /// Builds a config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two layer sizes are given or any is zero.
+    pub fn new(layer_sizes: &[usize], seed: u64) -> Self {
+        assert!(layer_sizes.len() >= 2, "need at least input and output layers");
+        assert!(layer_sizes.iter().all(|&s| s > 0), "layer sizes must be positive");
+        MlpConfig { layer_sizes: layer_sizes.to_vec(), seed }
+    }
+
+    /// The paper's Model-A/B shape: three hidden layers of 40 neurons.
+    pub fn paper_mlp(inputs: usize, outputs: usize, seed: u64) -> Self {
+        MlpConfig::new(&[inputs, 40, 40, 40, outputs], seed)
+    }
+
+    /// The paper's Model-C (DQN) shape: three hidden layers of 30 neurons.
+    pub fn paper_dqn(inputs: usize, outputs: usize, seed: u64) -> Self {
+        MlpConfig::new(&[inputs, 30, 30, 30, outputs], seed)
+    }
+}
+
+/// One fully connected layer: `y = x W + b`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct Dense {
+    pub(crate) weights: Matrix, // in x out
+    pub(crate) bias: Vec<f32>,
+}
+
+/// A multi-layer perceptron with ReLU hidden activations and a linear output
+/// layer, trained by backpropagation.
+///
+/// "Each layer is a set of nonlinear functions of a weighted sum of all
+/// outputs that are fully connected from the prior one" (§IV-A); ReLU
+/// (`f(x) = max(0, x)`) is the activation, chosen by the paper for
+/// backpropagation efficiency.
+///
+/// # Example
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Creates a network with Xavier-initialized weights and zero biases.
+    pub fn new(config: &MlpConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let layers = config
+            .layer_sizes
+            .windows(2)
+            .map(|w| {
+                let (n_in, n_out) = (w[0], w[1]);
+                let bound = (6.0 / (n_in + n_out) as f32).sqrt();
+                let data =
+                    (0..n_in * n_out).map(|_| rng.gen_range(-bound..bound)).collect::<Vec<_>>();
+                Dense { weights: Matrix::from_vec(n_in, n_out, data), bias: vec![0.0; n_out] }
+            })
+            .collect();
+        Mlp { layers }
+    }
+
+    /// Input width.
+    pub fn input_size(&self) -> usize {
+        self.layers.first().expect("mlp has layers").weights.rows()
+    }
+
+    /// Output width.
+    pub fn output_size(&self) -> usize {
+        self.layers.last().expect("mlp has layers").weights.cols()
+    }
+
+    /// Total number of trainable parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.layers.iter().map(|l| l.weights.as_slice().len() + l.bias.len()).sum()
+    }
+
+    pub(crate) fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    pub(crate) fn layers_mut(&mut self) -> &mut [Dense] {
+        &mut self.layers
+    }
+
+    /// Forward pass for a single input vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.input_size()`.
+    pub fn forward(&self, input: &[f32]) -> Vec<f32> {
+        let out = self.forward_batch(&Matrix::row_vector(input));
+        out.row(0).to_vec()
+    }
+
+    /// Forward pass for a batch (one input per row).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count differs from the input width.
+    pub fn forward_batch(&self, input: &Matrix) -> Matrix {
+        let (activations, _) = self.forward_with_cache(input);
+        activations.into_iter().last().expect("network has layers")
+    }
+
+    /// Forward pass keeping per-layer activations and pre-activations for
+    /// backpropagation. `activations[0]` is the input; `activations[i+1]` is
+    /// layer `i`'s output after its activation function.
+    fn forward_with_cache(&self, input: &Matrix) -> (Vec<Matrix>, Vec<Matrix>) {
+        assert_eq!(input.cols(), self.input_size(), "input width mismatch");
+        let n_layers = self.layers.len();
+        let mut activations = Vec::with_capacity(n_layers + 1);
+        let mut pre_activations = Vec::with_capacity(n_layers);
+        activations.push(input.clone());
+        for (i, layer) in self.layers.iter().enumerate() {
+            let mut z = activations.last().expect("nonempty").matmul(&layer.weights);
+            z.add_row_broadcast(&layer.bias);
+            pre_activations.push(z.clone());
+            if i + 1 < n_layers {
+                z.map_in_place(|v| v.max(0.0)); // ReLU on hidden layers
+            }
+            activations.push(z);
+        }
+        (activations, pre_activations)
+    }
+
+    /// One backpropagation step on a batch: computes gradients of `loss` and
+    /// applies them through `optimizer`. Returns the pre-step batch loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches between `x`, `y` and the network.
+    pub fn train_batch<L: Loss + ?Sized, O: Optimizer>(
+        &mut self,
+        x: &Matrix,
+        y: &Matrix,
+        loss: &L,
+        optimizer: &mut O,
+    ) -> f32 {
+        let (grads, value) = self.gradients(x, y, loss);
+        optimizer.step(self, &grads);
+        value
+    }
+
+    /// Gradients of `loss` w.r.t. every parameter, plus the batch loss.
+    /// Exposed for the DQN's manual update loop and for gradient tests.
+    pub fn gradients<L: Loss + ?Sized>(
+        &self,
+        x: &Matrix,
+        y: &Matrix,
+        loss: &L,
+    ) -> (ParamGrads, f32) {
+        let (activations, pre_activations) = self.forward_with_cache(x);
+        let output = activations.last().expect("network has layers");
+        let value = loss.value(output, y);
+
+        let mut weight_grads = Vec::with_capacity(self.layers.len());
+        let mut bias_grads = Vec::with_capacity(self.layers.len());
+        // delta = dL/dz for the current layer, starting at the (linear) output.
+        let mut delta = loss.gradient(output, y);
+        for i in (0..self.layers.len()).rev() {
+            if i + 1 < self.layers.len() {
+                // Pass through the ReLU derivative of this hidden layer.
+                let pre = &pre_activations[i];
+                for (d, &z) in delta.as_mut_slice().iter_mut().zip(pre.as_slice()) {
+                    if z <= 0.0 {
+                        *d = 0.0;
+                    }
+                }
+            }
+            weight_grads.push(activations[i].transpose_matmul(&delta));
+            bias_grads.push(delta.column_sums());
+            if i > 0 {
+                delta = delta.matmul_transpose(&self.layers[i].weights);
+            }
+        }
+        weight_grads.reverse();
+        bias_grads.reverse();
+        (ParamGrads { weights: weight_grads, biases: bias_grads }, value)
+    }
+}
+
+/// Per-layer parameter gradients produced by [`Mlp::gradients`].
+#[derive(Debug, Clone)]
+pub struct ParamGrads {
+    /// `∂L/∂W` per layer.
+    pub weights: Vec<Matrix>,
+    /// `∂L/∂b` per layer.
+    pub biases: Vec<Vec<f32>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::{Loss, MaskedRelativeMse, Mse};
+    use crate::{Adam, Sgd};
+
+    #[test]
+    fn shapes_are_consistent() {
+        let mlp = Mlp::new(&MlpConfig::paper_mlp(11, 5, 1));
+        assert_eq!(mlp.input_size(), 11);
+        assert_eq!(mlp.output_size(), 5);
+        assert_eq!(
+            mlp.parameter_count(),
+            11 * 40 + 40 + 40 * 40 + 40 + 40 * 40 + 40 + 40 * 5 + 5
+        );
+        let out = mlp.forward(&[0.0; 11]);
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn initialization_is_seeded() {
+        let a = Mlp::new(&MlpConfig::new(&[4, 8, 2], 7));
+        let b = Mlp::new(&MlpConfig::new(&[4, 8, 2], 7));
+        let c = Mlp::new(&MlpConfig::new(&[4, 8, 2], 8));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn backprop_gradients_match_finite_differences() {
+        let mut mlp = Mlp::new(&MlpConfig::new(&[3, 5, 4, 2], 123));
+        let x = Matrix::from_rows(&[&[0.3, -0.8, 1.2], &[1.0, 0.5, -0.4]]);
+        let y = Matrix::from_rows(&[&[0.5, -1.0], &[1.5, 0.25]]);
+        let (grads, _) = mlp.gradients(&x, &y, &Mse);
+
+        let eps = 1e-2f32;
+        // Spot-check a handful of weights in every layer.
+        for li in 0..3 {
+            let n = mlp.layers()[li].weights.as_slice().len();
+            for wi in (0..n).step_by(n / 4 + 1) {
+                let orig = mlp.layers()[li].weights.as_slice()[wi];
+                mlp.layers_mut()[li].weights.as_mut_slice()[wi] = orig + eps;
+                let lp = Mse.value(&mlp.forward_batch(&x), &y);
+                mlp.layers_mut()[li].weights.as_mut_slice()[wi] = orig - eps;
+                let lm = Mse.value(&mlp.forward_batch(&x), &y);
+                mlp.layers_mut()[li].weights.as_mut_slice()[wi] = orig;
+                let numeric = (lp - lm) / (2.0 * eps);
+                let analytic = grads.weights[li].as_slice()[wi];
+                assert!(
+                    (numeric - analytic).abs() < 2e-2 + 0.05 * numeric.abs(),
+                    "layer {li} weight {wi}: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+        // And the biases.
+        for li in 0..3 {
+            let orig = mlp.layers()[li].bias[0];
+            mlp.layers_mut()[li].bias[0] = orig + eps;
+            let lp = Mse.value(&mlp.forward_batch(&x), &y);
+            mlp.layers_mut()[li].bias[0] = orig - eps;
+            let lm = Mse.value(&mlp.forward_batch(&x), &y);
+            mlp.layers_mut()[li].bias[0] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = grads.biases[li][0];
+            assert!(
+                (numeric - analytic).abs() < 2e-2 + 0.05 * numeric.abs(),
+                "layer {li} bias: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn sgd_learns_a_linear_function() {
+        let mut mlp = Mlp::new(&MlpConfig::new(&[2, 8, 1], 5));
+        let mut sgd = Sgd::new(0.05);
+        let x = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let y = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0]]); // y = a + 2b
+        let mut last = f32::INFINITY;
+        for _ in 0..2000 {
+            last = mlp.train_batch(&x, &y, &Mse, &mut sgd);
+        }
+        assert!(last < 1e-3, "SGD failed to converge, loss {last}");
+    }
+
+    #[test]
+    fn adam_learns_a_nonlinear_function() {
+        let mut mlp = Mlp::new(&MlpConfig::new(&[1, 16, 16, 1], 9));
+        let mut adam = Adam::with_defaults(&mlp);
+        // y = x^2 on [-1, 1].
+        let xs: Vec<f32> = (0..21).map(|i| -1.0 + i as f32 * 0.1).collect();
+        let x = Matrix::from_vec(21, 1, xs.clone());
+        let y = Matrix::from_vec(21, 1, xs.iter().map(|v| v * v).collect());
+        for _ in 0..1500 {
+            mlp.train_batch(&x, &y, &Mse, &mut adam);
+        }
+        let pred = mlp.forward(&[0.5]);
+        assert!((pred[0] - 0.25).abs() < 0.05, "got {}", pred[0]);
+    }
+
+    #[test]
+    fn masked_loss_trains_only_real_labels() {
+        // Two outputs; output 1's labels are always 0 ("non-existent case").
+        let mut mlp = Mlp::new(&MlpConfig::new(&[1, 8, 2], 3));
+        let mut adam = Adam::with_defaults(&mlp);
+        let loss = MaskedRelativeMse::default();
+        let x = Matrix::from_rows(&[&[0.0], &[1.0]]);
+        let y = Matrix::from_rows(&[&[1.0, 0.0], &[3.0, 0.0]]);
+        for _ in 0..1000 {
+            mlp.train_batch(&x, &y, &loss, &mut adam);
+        }
+        let p = mlp.forward(&[1.0]);
+        assert!((p[0] - 3.0).abs() < 0.2, "real label must be learned, got {}", p[0]);
+        assert!(loss.value(&mlp.forward_batch(&x), &y) < 1e-2);
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let mlp = Mlp::new(&MlpConfig::paper_dqn(13, 49, 1));
+        let input = vec![0.5; 13];
+        assert_eq!(mlp.forward(&input), mlp.forward(&input));
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_predictions() {
+        let mlp = Mlp::new(&MlpConfig::new(&[4, 10, 3], 11));
+        let json = serde_json::to_string(&mlp).unwrap();
+        let back: Mlp = serde_json::from_str(&json).unwrap();
+        let x = [0.1, -0.2, 0.3, 0.4];
+        assert_eq!(mlp.forward(&x), back.forward(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn forward_rejects_wrong_width() {
+        let mlp = Mlp::new(&MlpConfig::new(&[4, 2], 0));
+        let _ = mlp.forward(&[1.0, 2.0]);
+    }
+}

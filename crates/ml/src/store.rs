@@ -1,0 +1,228 @@
+//! Model persistence: save and load trained networks as versioned JSON.
+//!
+//! The paper trains for nine months and ships frozen TensorFlow graphs to
+//! the scheduler host; the equivalent here is a [`ModelStore`] directory of
+//! JSON-serialized [`Mlp`]s with a format-version guard, so a trained suite
+//! survives process restarts and can be shipped between machines.
+
+use crate::Mlp;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Format version written into every stored model; bumped on breaking
+/// changes to the network serialization.
+pub const STORE_VERSION: u32 = 1;
+
+/// Errors from [`ModelStore`] operations.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The file is not valid model JSON.
+    Parse(serde_json::Error),
+    /// The file was written by an incompatible store version.
+    VersionMismatch {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build expects.
+        expected: u32,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "model store i/o error: {e}"),
+            StoreError::Parse(e) => write!(f, "model store parse error: {e}"),
+            StoreError::VersionMismatch { found, expected } => {
+                write!(f, "model store version {found} incompatible with expected {expected}")
+            }
+        }
+    }
+}
+
+impl Error for StoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Parse(e) => Some(e),
+            StoreError::VersionMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for StoreError {
+    fn from(e: serde_json::Error) -> Self {
+        StoreError::Parse(e)
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct StoredModel {
+    version: u32,
+    name: String,
+    mlp: Mlp,
+}
+
+/// A directory of named, versioned model files.
+///
+/// # Example
+///
+/// ```
+/// # use osml_ml::{Mlp, MlpConfig, store::ModelStore};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let dir = std::env::temp_dir().join("osml-store-doc");
+/// let store = ModelStore::open(&dir)?;
+/// let mlp = Mlp::new(&MlpConfig::new(&[4, 8, 2], 7));
+/// store.save("model-a", &mlp)?;
+/// let back = store.load("model-a")?;
+/// assert_eq!(back.forward(&[0.1, 0.2, 0.3, 0.4]), mlp.forward(&[0.1, 0.2, 0.3, 0.4]));
+/// # std::fs::remove_dir_all(&dir)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ModelStore {
+    dir: PathBuf,
+}
+
+impl ModelStore {
+    /// Opens (creating if needed) a store at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if the directory cannot be created.
+    pub fn open<P: AsRef<Path>>(dir: P) -> Result<Self, StoreError> {
+        std::fs::create_dir_all(dir.as_ref())?;
+        Ok(ModelStore { dir: dir.as_ref().to_path_buf() })
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{name}.json"))
+    }
+
+    /// Saves `mlp` under `name`, overwriting any previous version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on write failure.
+    pub fn save(&self, name: &str, mlp: &Mlp) -> Result<(), StoreError> {
+        let stored =
+            StoredModel { version: STORE_VERSION, name: name.to_owned(), mlp: mlp.clone() };
+        let json = serde_json::to_string(&stored)?;
+        std::fs::write(self.path(name), json)?;
+        Ok(())
+    }
+
+    /// Loads the model stored under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if the file is missing,
+    /// [`StoreError::Parse`] if it is corrupt, or
+    /// [`StoreError::VersionMismatch`] if it predates [`STORE_VERSION`].
+    pub fn load(&self, name: &str) -> Result<Mlp, StoreError> {
+        let json = std::fs::read_to_string(self.path(name))?;
+        let stored: StoredModel = serde_json::from_str(&json)?;
+        if stored.version != STORE_VERSION {
+            return Err(StoreError::VersionMismatch {
+                found: stored.version,
+                expected: STORE_VERSION,
+            });
+        }
+        Ok(stored.mlp)
+    }
+
+    /// Whether a model named `name` exists in the store.
+    pub fn contains(&self, name: &str) -> bool {
+        self.path(name).exists()
+    }
+
+    /// Names of all stored models.
+    pub fn names(&self) -> Vec<String> {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else { return Vec::new() };
+        let mut names: Vec<String> = entries
+            .filter_map(|e| e.ok())
+            .filter_map(|e| {
+                let name = e.file_name().into_string().ok()?;
+                name.strip_suffix(".json").map(str::to_owned)
+            })
+            .collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MlpConfig;
+
+    fn temp_store(tag: &str) -> (ModelStore, PathBuf) {
+        let dir = std::env::temp_dir().join(format!("osml-store-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        (ModelStore::open(&dir).unwrap(), dir)
+    }
+
+    #[test]
+    fn save_load_round_trip_preserves_weights() {
+        let (store, dir) = temp_store("rt");
+        let mlp = Mlp::new(&MlpConfig::paper_mlp(11, 5, 3));
+        store.save("model-a", &mlp).unwrap();
+        let back = store.load("model-a").unwrap();
+        let x = vec![0.5; 11];
+        assert_eq!(mlp.forward(&x), back.forward(&x));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn missing_model_is_an_io_error() {
+        let (store, dir) = temp_store("missing");
+        assert!(matches!(store.load("nope"), Err(StoreError::Io(_))));
+        assert!(!store.contains("nope"));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_file_is_a_parse_error() {
+        let (store, dir) = temp_store("corrupt");
+        std::fs::write(dir.join("bad.json"), "{not json").unwrap();
+        assert!(matches!(store.load("bad"), Err(StoreError::Parse(_))));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let (store, dir) = temp_store("ver");
+        let mlp = Mlp::new(&MlpConfig::new(&[2, 2], 0));
+        store.save("m", &mlp).unwrap();
+        // Tamper with the version field.
+        let path = dir.join("m.json");
+        let text = std::fs::read_to_string(&path).unwrap().replace("\"version\":1", "\"version\":99");
+        std::fs::write(&path, text).unwrap();
+        assert!(matches!(
+            store.load("m"),
+            Err(StoreError::VersionMismatch { found: 99, expected: 1 })
+        ));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn names_lists_stored_models() {
+        let (store, dir) = temp_store("names");
+        let mlp = Mlp::new(&MlpConfig::new(&[2, 2], 0));
+        store.save("b", &mlp).unwrap();
+        store.save("a", &mlp).unwrap();
+        assert_eq!(store.names(), vec!["a".to_owned(), "b".to_owned()]);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}

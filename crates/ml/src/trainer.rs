@@ -1,0 +1,249 @@
+use crate::loss::Loss;
+use crate::{Adam, AdamConfig, Matrix, Mlp};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for mini-batch supervised training.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainerConfig {
+    /// Passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Fraction of data held out for validation (0 disables).
+    pub validation_split: f64,
+    /// Adam hyper-parameters.
+    pub adam: AdamConfig,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        TrainerConfig {
+            epochs: 30,
+            batch_size: 128,
+            validation_split: 0.1,
+            adam: AdamConfig::default(),
+            seed: 0xd1ce,
+        }
+    }
+}
+
+/// Regression quality metrics on a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Mean absolute error over all outputs.
+    pub mae: f64,
+    /// Root mean squared error over all outputs.
+    pub rmse: f64,
+    /// Fraction of predictions within ±1.0 of the label (for resource-count
+    /// heads this is "predicted within one core/way").
+    pub within_one: f64,
+}
+
+impl Metrics {
+    /// Computes metrics of `mlp` on `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` and `y` have different row counts.
+    pub fn evaluate(mlp: &Mlp, x: &Matrix, y: &Matrix) -> Metrics {
+        assert_eq!(x.rows(), y.rows(), "x and y row counts differ");
+        let pred = mlp.forward_batch(x);
+        let mut abs_sum = 0.0f64;
+        let mut sq_sum = 0.0f64;
+        let mut within = 0usize;
+        let n = pred.as_slice().len();
+        for (&p, &t) in pred.as_slice().iter().zip(y.as_slice()) {
+            let e = (p - t) as f64;
+            abs_sum += e.abs();
+            sq_sum += e * e;
+            if e.abs() <= 1.0 {
+                within += 1;
+            }
+        }
+        Metrics {
+            mae: abs_sum / n as f64,
+            rmse: (sq_sum / n as f64).sqrt(),
+            within_one: within as f64 / n as f64,
+        }
+    }
+}
+
+/// Result of a training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Mean training loss of each epoch.
+    pub epoch_losses: Vec<f64>,
+    /// Final metrics on the training split.
+    pub train_metrics: Metrics,
+    /// Final metrics on the validation split (if one was held out).
+    pub validation_metrics: Option<Metrics>,
+}
+
+/// Seeded mini-batch trainer for supervised heads (Model-A/B/B').
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    config: TrainerConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer.
+    pub fn new(config: TrainerConfig) -> Self {
+        Trainer { config }
+    }
+
+    /// Trains `mlp` on `(x, y)` and reports losses and metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` and `y` have different row counts or the dataset is
+    /// empty.
+    pub fn fit<L: Loss>(&self, mlp: &mut Mlp, x: &Matrix, y: &Matrix, loss: &L) -> TrainReport {
+        assert_eq!(x.rows(), y.rows(), "x and y row counts differ");
+        assert!(x.rows() > 0, "dataset is empty");
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let n = x.rows();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut rng);
+
+        let n_val = ((n as f64) * self.config.validation_split) as usize;
+        let (val_idx, train_idx) = order.split_at(n_val);
+        let gather = |idx: &[usize], m: &Matrix| -> Matrix {
+            let mut out = Matrix::zeros(idx.len(), m.cols());
+            for (r, &i) in idx.iter().enumerate() {
+                out.row_mut(r).copy_from_slice(m.row(i));
+            }
+            out
+        };
+        let (x_train, y_train) = (gather(train_idx, x), gather(train_idx, y));
+        let (x_val, y_val) = (gather(val_idx, x), gather(val_idx, y));
+
+        let mut adam = Adam::new(mlp, self.config.adam);
+        let mut epoch_losses = Vec::with_capacity(self.config.epochs);
+        let mut batch_order: Vec<usize> = (0..x_train.rows()).collect();
+        for _ in 0..self.config.epochs {
+            batch_order.shuffle(&mut rng);
+            let mut loss_sum = 0.0f64;
+            let mut batches = 0usize;
+            for chunk in batch_order.chunks(self.config.batch_size.max(1)) {
+                let xb = gather(chunk, &x_train);
+                let yb = gather(chunk, &y_train);
+                loss_sum += mlp.train_batch(&xb, &yb, loss, &mut adam) as f64;
+                batches += 1;
+            }
+            epoch_losses.push(loss_sum / batches.max(1) as f64);
+        }
+
+        TrainReport {
+            epoch_losses,
+            train_metrics: Metrics::evaluate(mlp, &x_train, &y_train),
+            validation_metrics: (n_val > 0).then(|| Metrics::evaluate(mlp, &x_val, &y_val)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::Mse;
+    use crate::MlpConfig;
+
+    /// Synthetic regression task: y0 = 2a + b, y1 = a - b.
+    fn dataset(n: usize) -> (Matrix, Matrix) {
+        let mut x = Matrix::zeros(n, 2);
+        let mut y = Matrix::zeros(n, 2);
+        for i in 0..n {
+            let a = (i % 17) as f32 / 17.0;
+            let b = (i % 11) as f32 / 11.0;
+            x.row_mut(i).copy_from_slice(&[a, b]);
+            y.row_mut(i).copy_from_slice(&[2.0 * a + b, a - b]);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn training_reduces_loss_monotonically_enough() {
+        let (x, y) = dataset(512);
+        let mut mlp = Mlp::new(&MlpConfig::new(&[2, 16, 2], 3));
+        let trainer = Trainer::new(TrainerConfig {
+            epochs: 150,
+            batch_size: 32,
+            ..TrainerConfig::default()
+        });
+        let report = trainer.fit(&mut mlp, &x, &y, &Mse);
+        assert_eq!(report.epoch_losses.len(), 150);
+        let first = report.epoch_losses.first().unwrap();
+        let last = report.epoch_losses.last().unwrap();
+        assert!(last < first, "loss should fall: {first} -> {last}");
+        assert!(report.train_metrics.mae < 0.15, "mae {}", report.train_metrics.mae);
+    }
+
+    #[test]
+    fn validation_metrics_track_generalization() {
+        let (x, y) = dataset(1000);
+        let mut mlp = Mlp::new(&MlpConfig::new(&[2, 16, 2], 4));
+        let trainer = Trainer::new(TrainerConfig {
+            epochs: 100,
+            batch_size: 32,
+            validation_split: 0.2,
+            ..TrainerConfig::default()
+        });
+        let report = trainer.fit(&mut mlp, &x, &y, &Mse);
+        let val = report.validation_metrics.expect("validation split was requested");
+        // The function is deterministic, so validation should be close to train.
+        assert!(val.mae < report.train_metrics.mae * 3.0 + 0.05);
+        assert!(val.within_one > 0.95);
+    }
+
+    #[test]
+    fn zero_validation_split_yields_none() {
+        let (x, y) = dataset(64);
+        let mut mlp = Mlp::new(&MlpConfig::new(&[2, 8, 2], 5));
+        let trainer = Trainer::new(TrainerConfig {
+            epochs: 2,
+            validation_split: 0.0,
+            ..TrainerConfig::default()
+        });
+        let report = trainer.fit(&mut mlp, &x, &y, &Mse);
+        assert!(report.validation_metrics.is_none());
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let (x, y) = dataset(128);
+        let run = |seed| {
+            let mut mlp = Mlp::new(&MlpConfig::new(&[2, 8, 2], 7));
+            let trainer =
+                Trainer::new(TrainerConfig { epochs: 3, seed, ..TrainerConfig::default() });
+            trainer.fit(&mut mlp, &x, &y, &Mse).epoch_losses
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn metrics_on_perfect_predictions() {
+        let y = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        // A "network" that already maps x to y exactly is hard to construct;
+        // instead check the arithmetic with an identity-ish case.
+        let mlp = Mlp::new(&MlpConfig::new(&[1, 1], 0));
+        let x = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        let m = Metrics::evaluate(&mlp, &x, &y);
+        assert!(m.mae >= 0.0 && m.rmse >= m.mae.min(m.rmse));
+        assert!((0.0..=1.0).contains(&m.within_one));
+    }
+
+    #[test]
+    #[should_panic(expected = "dataset is empty")]
+    fn empty_dataset_panics() {
+        let mut mlp = Mlp::new(&MlpConfig::new(&[1, 1], 0));
+        let trainer = Trainer::new(TrainerConfig::default());
+        let x = Matrix::zeros(0, 1);
+        let y = Matrix::zeros(0, 1);
+        let _ = trainer.fit(&mut mlp, &x, &y, &Mse);
+    }
+}

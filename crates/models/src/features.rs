@@ -1,0 +1,147 @@
+//! The shared feature schema: Table 3 of the paper, with fixed normalization.
+//!
+//! All three models consume the same counter sample; Model-B appends the QoS
+//! slowdown budget and Model-C appends the response latency. Normalization
+//! uses **fixed physical scales** (machine geometry and sane counter ranges)
+//! rather than corpus statistics, so a model trained on one corpus can score
+//! samples from any run without dragging normalization state around.
+
+use osml_platform::CounterSample;
+
+/// Number of base features (Table 3 rows used by Model-A).
+pub const BASE_FEATURES: usize = 11;
+
+/// Fixed normalization scales for the 11 base features, in
+/// [`CounterSample::model_a_features`] order. Chosen so normalized values
+/// land roughly in [0, 2] on the paper's testbed.
+pub const FEATURE_SCALES: [f64; BASE_FEATURES] = [
+    2.0,    // IPC
+    2.0e8,  // LLC misses per second
+    50.0,   // MBL, GB/s
+    36.0,   // CPU usage (cores busy)
+    16.0,   // memory util, GB
+    25.0,   // virtual memory, GB
+    16.0,   // resident memory, GB
+    45.0,   // LLC occupancy, MB
+    36.0,   // allocated cores
+    20.0,   // allocated ways
+    3.0,    // frequency, GHz
+];
+
+/// Scale applied to latencies before entering a feature vector. Latencies
+/// span five orders of magnitude (1 ms .. 100 s), so they enter as
+/// `log10(1 + ms) / LATENCY_LOG_SCALE`.
+pub const LATENCY_LOG_SCALE: f64 = 5.0;
+
+/// Normalizes the 11 base features of a sample.
+pub fn base_features(sample: &CounterSample) -> Vec<f32> {
+    sample
+        .model_a_features()
+        .iter()
+        .zip(FEATURE_SCALES.iter())
+        .map(|(&v, &s)| (v / s) as f32)
+        .collect()
+}
+
+/// Model-A input: the 11 normalized base features.
+pub fn model_a_input(sample: &CounterSample) -> Vec<f32> {
+    base_features(sample)
+}
+
+/// Model-B input: base features plus the acceptable QoS slowdown (e.g. 0.05
+/// for "5 % slower is tolerable").
+pub fn model_b_input(sample: &CounterSample, qos_slowdown: f64) -> Vec<f32> {
+    let mut v = base_features(sample);
+    v.push(qos_slowdown as f32);
+    v
+}
+
+/// Model-B' input: base features plus a proposed deprivation in cores and
+/// ways.
+pub fn model_b_prime_input(sample: &CounterSample, cores_taken: usize, ways_taken: usize) -> Vec<f32> {
+    let mut v = base_features(sample);
+    v.push(cores_taken as f32 / 36.0);
+    v.push(ways_taken as f32 / 20.0);
+    v
+}
+
+/// Model-C state: base features plus the log-scaled response latency
+/// (Table 3 lists `Resp. Latency` as a Model-C-only feature).
+pub fn model_c_state(sample: &CounterSample) -> Vec<f32> {
+    let mut v = base_features(sample);
+    v.push(normalized_latency(sample.response_latency_ms));
+    v
+}
+
+/// Log-scaled latency feature.
+pub fn normalized_latency(latency_ms: f64) -> f32 {
+    ((1.0 + latency_ms.max(0.0)).log10() / LATENCY_LOG_SCALE) as f32
+}
+
+/// Width of a Model-B input vector.
+pub const MODEL_B_INPUTS: usize = BASE_FEATURES + 1;
+
+/// Width of a Model-B' input vector.
+pub const MODEL_B_PRIME_INPUTS: usize = BASE_FEATURES + 2;
+
+/// Width of a Model-C state vector.
+pub const MODEL_C_STATE: usize = BASE_FEATURES + 1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CounterSample {
+        CounterSample {
+            ipc: 1.0,
+            llc_misses_per_sec: 1.0e8,
+            mbl_gbps: 25.0,
+            cpu_usage: 18.0,
+            memory_util_gb: 8.0,
+            virt_memory_gb: 12.5,
+            res_memory_gb: 8.0,
+            llc_occupancy_mb: 22.5,
+            allocated_cores: 18,
+            allocated_ways: 10,
+            frequency_ghz: 2.3,
+            response_latency_ms: 9.0,
+        }
+    }
+
+    #[test]
+    fn base_features_are_normalized_to_unit_scale() {
+        let f = base_features(&sample());
+        assert_eq!(f.len(), BASE_FEATURES);
+        for (i, &v) in f.iter().enumerate() {
+            assert!((0.0..=2.0).contains(&v), "feature {i} out of range: {v}");
+        }
+        assert!((f[0] - 0.5).abs() < 1e-6); // ipc 1.0 / 2.0
+        assert!((f[9] - 0.5).abs() < 1e-6); // 10 ways / 20
+    }
+
+    #[test]
+    fn widths_match_constants() {
+        let s = sample();
+        assert_eq!(model_a_input(&s).len(), BASE_FEATURES);
+        assert_eq!(model_b_input(&s, 0.05).len(), MODEL_B_INPUTS);
+        assert_eq!(model_b_prime_input(&s, 2, 3).len(), MODEL_B_PRIME_INPUTS);
+        assert_eq!(model_c_state(&s).len(), MODEL_C_STATE);
+    }
+
+    #[test]
+    fn latency_normalization_is_log_scaled_and_monotone() {
+        assert!(normalized_latency(0.0).abs() < 1e-9);
+        let a = normalized_latency(10.0);
+        let b = normalized_latency(10_000.0);
+        assert!(b > a);
+        assert!(b <= 1.1, "100 s should stay near 1.0, got {b}");
+        // Negative input is clamped, not NaN.
+        assert!(normalized_latency(-5.0).is_finite());
+    }
+
+    #[test]
+    fn model_b_slowdown_is_passed_through() {
+        let v = model_b_input(&sample(), 0.15);
+        assert!((v[BASE_FEATURES] - 0.15).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,112 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the platform layer when a scheduler requests an invalid
+/// resource manipulation.
+///
+/// These mirror the failure modes of the real control interfaces: `taskset`
+/// rejects empty/out-of-range CPU lists, Intel CAT rejects non-contiguous or
+/// empty way masks, and the OSML runtime refuses to double-place a service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PlatformError {
+    /// A core index exceeded the number of logical cores on the machine.
+    CoreOutOfRange {
+        /// The offending logical core index.
+        core: usize,
+        /// Number of logical cores on the machine.
+        total: usize,
+    },
+    /// An allocation contained no cores; a service cannot run on zero cores.
+    EmptyCoreSet,
+    /// A way index exceeded the number of LLC ways.
+    WayOutOfRange {
+        /// The offending way index.
+        way: usize,
+        /// Number of LLC ways on the machine.
+        total: usize,
+    },
+    /// Intel CAT requires class-of-service masks to be contiguous and
+    /// non-empty; the requested mask was not.
+    InvalidWayMask {
+        /// The raw mask bits that were rejected.
+        bits: u32,
+    },
+    /// The application id is not registered on this server.
+    UnknownApp {
+        /// The offending application id.
+        id: u64,
+    },
+    /// The application id is already registered on this server.
+    DuplicateApp {
+        /// The offending application id.
+        id: u64,
+    },
+    /// An MBA throttle level outside 10..=100 (%) was requested.
+    InvalidThrottle {
+        /// The rejected percentage.
+        percent: u8,
+    },
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::CoreOutOfRange { core, total } => {
+                write!(f, "logical core {core} out of range (machine has {total})")
+            }
+            PlatformError::EmptyCoreSet => write!(f, "allocation contains no cores"),
+            PlatformError::WayOutOfRange { way, total } => {
+                write!(f, "LLC way {way} out of range (cache has {total} ways)")
+            }
+            PlatformError::InvalidWayMask { bits } => {
+                write!(f, "way mask {bits:#b} is not a contiguous non-empty mask")
+            }
+            PlatformError::UnknownApp { id } => write!(f, "application {id} is not registered"),
+            PlatformError::DuplicateApp { id } => {
+                write!(f, "application {id} is already registered")
+            }
+            PlatformError::InvalidThrottle { percent } => {
+                write!(f, "MBA throttle {percent}% is not in 10..=100")
+            }
+        }
+    }
+}
+
+impl Error for PlatformError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = PlatformError::CoreOutOfRange { core: 40, total: 36 };
+        let s = e.to_string();
+        assert!(s.contains("40"));
+        assert!(s.contains("36"));
+        assert!(s.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_error<E: Error + Send + Sync + 'static>(_e: E) {}
+        takes_error(PlatformError::EmptyCoreSet);
+    }
+
+    #[test]
+    fn all_variants_have_nonempty_display() {
+        let variants = [
+            PlatformError::CoreOutOfRange { core: 1, total: 2 },
+            PlatformError::EmptyCoreSet,
+            PlatformError::WayOutOfRange { way: 3, total: 4 },
+            PlatformError::InvalidWayMask { bits: 0b101 },
+            PlatformError::UnknownApp { id: 7 },
+            PlatformError::DuplicateApp { id: 7 },
+            PlatformError::InvalidThrottle { percent: 5 },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty(), "{v:?}");
+        }
+    }
+}

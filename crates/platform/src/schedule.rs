@@ -1,0 +1,40 @@
+use crate::{AppId, Substrate};
+
+/// Result of asking a scheduler to place a newly arrived service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Placement {
+    /// The service was given an allocation on this server.
+    Placed,
+    /// The server cannot host the service within QoS constraints; the
+    /// upper-level scheduler should migrate it to another node (Algorithm 4,
+    /// line 9 of the paper).
+    Rejected,
+}
+
+/// The interface every resource scheduler in this repository implements —
+/// OSML, PARTIES and the unmanaged baseline — so experiment harnesses can
+/// swap them freely.
+///
+/// Lifecycle: the harness launches a service onto the substrate (on idle
+/// resources), then calls [`Scheduler::on_arrival`]. Afterwards it advances
+/// time in 1-second steps, calling [`Scheduler::tick`] after each step (the
+/// paper's 1-second `pqos` sampling loop). Schedulers may advance the
+/// substrate themselves while profiling (OSML samples for 2 s before
+/// invoking Model-A).
+pub trait Scheduler {
+    /// Human-readable scheduler name (for reports).
+    fn name(&self) -> &'static str;
+
+    /// Reacts to a newly launched service.
+    fn on_arrival<S: Substrate>(&mut self, server: &mut S, id: AppId) -> Placement;
+
+    /// Periodic QoS check / adjustment, called once per simulated second.
+    fn tick<S: Substrate>(&mut self, server: &mut S);
+
+    /// Notifies the scheduler that a service left the machine.
+    fn on_departure(&mut self, id: AppId);
+
+    /// Total scheduling actions (allocation changes) taken so far — the
+    /// overhead metric of the paper's Fig. 15.
+    fn action_count(&self) -> usize;
+}

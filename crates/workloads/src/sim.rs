@@ -1,0 +1,673 @@
+//! The co-location server simulator: an [`Substrate`] implementation that
+//! places analytic services on a [`Topology`], resolves cross-service
+//! contention to a fixed point each tick, and synthesizes Table-3 counters.
+
+
+use crate::perf::{self, PerfInput, PerfOutcome};
+use crate::{Service, ServiceParams};
+use osml_platform::{
+    Allocation, AppId, CounterSample, CoreSet, LatencyStats, PlatformError, Substrate, Topology,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Throughput discount per additional service time-sharing a core.
+const CORE_SHARE_PENALTY: f64 = 0.06;
+
+/// Yield of one hardware thread when its HT sibling is also busy.
+const HT_SHARED_YIELD: f64 = 0.65;
+
+/// Iterations of the bandwidth-contention fixed point. The damped update
+/// converges geometrically; 12 rounds leave residuals ≪ 1 %.
+const FIXED_POINT_ITERS: usize = 12;
+
+/// Gain of the DRAM-bus queueing stall as total traffic approaches the bus
+/// capacity (`stall = 1 + gain * pressure^exponent`).
+const DRAM_QUEUE_GAIN: f64 = 4.0;
+
+/// Exponent of the DRAM-bus queueing stall: gentle below ~50 % of practical
+/// bandwidth, steep beyond it — the familiar DDR4 loaded-latency curve.
+const DRAM_QUEUE_EXPONENT: i32 = 4;
+
+/// Fraction of the catalog bandwidth that is practically achievable before
+/// queueing dominates (bank conflicts, refresh, read/write turnarounds).
+const PRACTICAL_BW_FRACTION: f64 = 0.7;
+
+/// Seconds after an allocation change during which samples carry extra
+/// warm-up noise (cache refill, thread re-balancing) — the reason the paper
+/// samples for 2 s before trusting Model-A's inputs (§V-B).
+const WARMUP_WINDOW_S: f64 = 2.0;
+
+/// Extra multiplicative noise sigma during the warm-up window.
+const WARMUP_NOISE_SIGMA: f64 = 0.25;
+
+/// Configuration of a simulated server.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Hardware geometry; defaults to the paper's testbed.
+    pub topology: Topology,
+    /// Standard deviation of the multiplicative log-normal latency noise
+    /// (0.02 ≈ ±2 % run-to-run jitter). Zero gives a fully deterministic
+    /// machine, which the ground-truth sweeps use.
+    pub noise_sigma: f64,
+    /// Seed for the noise stream.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { topology: Topology::xeon_e5_2697_v4(), noise_sigma: 0.02, seed: 0x05_51_1a_b5 }
+    }
+}
+
+impl SimConfig {
+    /// A noiseless configuration, for ground-truth sweeps and property tests.
+    pub fn deterministic() -> Self {
+        SimConfig { noise_sigma: 0.0, ..SimConfig::default() }
+    }
+}
+
+/// How a service is launched: which service, how many threads, what load.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LaunchSpec {
+    /// Which service binary is started.
+    pub service: Service,
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Offered load, requests per second.
+    pub offered_rps: f64,
+}
+
+impl LaunchSpec {
+    /// Launches `service` with its default thread count at `offered_rps`.
+    pub fn new(service: Service, offered_rps: f64) -> Self {
+        LaunchSpec { service, threads: service.params().default_threads, offered_rps }
+    }
+
+    /// Launches `service` at `percent` of its nominal maximum load.
+    pub fn at_percent_load(service: Service, percent: f64) -> Self {
+        LaunchSpec::new(service, service.params().nominal_max_rps() * percent / 100.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct AppState {
+    spec: LaunchSpec,
+    alloc: Allocation,
+    mem_stall: f64,
+    outcome: PerfOutcome,
+    sample: CounterSample,
+    latency: LatencyStats,
+    /// Simulated time of the last allocation change (for warm-up noise).
+    changed_at: f64,
+}
+
+/// A simulated co-location server.
+///
+/// # Example
+///
+/// ```
+/// use osml_platform::{Allocation, CoreSet, MbaThrottle, Substrate, WayMask};
+/// use osml_workloads::{LaunchSpec, Service, SimConfig, SimServer};
+///
+/// let mut server = SimServer::new(SimConfig::deterministic());
+/// let alloc = Allocation::new(
+///     CoreSet::first_n(16),
+///     WayMask::contiguous(0, 12)?,
+///     MbaThrottle::unthrottled(),
+/// );
+/// let id = server.launch(LaunchSpec::new(Service::Moses, 2200.0), alloc)?;
+/// server.advance(2.0);
+/// let lat = server.latency(id).unwrap();
+/// assert!(lat.p95_ms < lat.qos_target_ms, "16 cores / 12 ways meets Moses QoS");
+/// # Ok::<(), osml_platform::PlatformError>(())
+/// ```
+#[derive(Debug)]
+pub struct SimServer {
+    topo: Topology,
+    apps: BTreeMap<AppId, AppState>,
+    next_id: u64,
+    clock: f64,
+    noise_sigma: f64,
+    rng: StdRng,
+}
+
+impl SimServer {
+    /// Creates a server with the given configuration.
+    pub fn new(config: SimConfig) -> Self {
+        SimServer {
+            topo: config.topology,
+            apps: BTreeMap::new(),
+            next_id: 0,
+            clock: 0.0,
+            noise_sigma: config.noise_sigma,
+            rng: StdRng::seed_from_u64(config.seed),
+        }
+    }
+
+    /// Creates a deterministic server on the paper's testbed topology.
+    pub fn deterministic() -> Self {
+        SimServer::new(SimConfig::deterministic())
+    }
+
+    /// Places a new service on the machine.
+    ///
+    /// Counters and latency are available after the next [`Substrate::advance`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the allocation is invalid for this machine's topology.
+    pub fn launch(&mut self, spec: LaunchSpec, alloc: Allocation) -> Result<AppId, PlatformError> {
+        alloc.validate(&self.topo)?;
+        let id = AppId(self.next_id);
+        self.next_id += 1;
+        let mut placeholder = Self::empty_state(spec, alloc);
+        placeholder.changed_at = self.clock;
+        self.apps.insert(id, placeholder);
+        self.recompute();
+        Ok(id)
+    }
+
+    /// Changes a running service's offered load (the Fig. 14 load steps).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `id` is not placed.
+    pub fn set_load(&mut self, id: AppId, offered_rps: f64) -> Result<(), PlatformError> {
+        let app = self.apps.get_mut(&id).ok_or(PlatformError::UnknownApp { id: id.0 })?;
+        app.spec.offered_rps = offered_rps;
+        self.recompute();
+        Ok(())
+    }
+
+    /// The service running under `id`, if placed.
+    pub fn service_of(&self, id: AppId) -> Option<Service> {
+        self.apps.get(&id).map(|a| a.spec.service)
+    }
+
+    /// The launch spec of `id`, if placed.
+    pub fn spec_of(&self, id: AppId) -> Option<LaunchSpec> {
+        self.apps.get(&id).map(|a| a.spec)
+    }
+
+    /// Full model outcome for `id` (richer than the public counters), if
+    /// placed. Ground-truth tooling uses this; schedulers must not.
+    pub fn outcome(&self, id: AppId) -> Option<PerfOutcome> {
+        self.apps.get(&id).map(|a| a.outcome)
+    }
+
+    fn empty_state(spec: LaunchSpec, alloc: Allocation) -> AppState {
+        let zero_outcome = PerfOutcome {
+            service_time_ms: 0.0,
+            mean_ms: 0.0,
+            p95_ms: 0.0,
+            utilization: 0.0,
+            achieved_rps: 0.0,
+            capacity_rps: 0.0,
+            misses_per_sec: 0.0,
+            bw_demand_gbps: 0.0,
+            ipc: 0.0,
+            cpu_usage: 0.0,
+            llc_occupancy_mb: 0.0,
+        };
+        AppState {
+            spec,
+            alloc,
+            mem_stall: 1.0,
+            changed_at: 0.0,
+            outcome: zero_outcome,
+            sample: CounterSample {
+                ipc: 0.0,
+                llc_misses_per_sec: 0.0,
+                mbl_gbps: 0.0,
+                cpu_usage: 0.0,
+                memory_util_gb: 0.0,
+                virt_memory_gb: 0.0,
+                res_memory_gb: 0.0,
+                llc_occupancy_mb: 0.0,
+                allocated_cores: alloc.cores.count(),
+                allocated_ways: alloc.ways.count(),
+                frequency_ghz: 0.0,
+                response_latency_ms: 0.0,
+            },
+            latency: LatencyStats {
+                mean_ms: 0.0,
+                p95_ms: 0.0,
+                achieved_rps: 0.0,
+                offered_rps: spec.offered_rps,
+                qos_target_ms: spec.service.params().qos_ms,
+            },
+        }
+    }
+
+    /// Effective LLC capacity per app after splitting shared ways.
+    ///
+    /// Each way's capacity is divided among its holders in proportion to
+    /// their working-set pressure, the first-order behaviour of an
+    /// LRU-managed shared cache.
+    fn effective_cache(&self) -> BTreeMap<AppId, f64> {
+        let way_mb = self.topo.way_mb();
+        let mut cache: BTreeMap<AppId, f64> = self.apps.keys().map(|&id| (id, 0.0)).collect();
+        for way in 0..self.topo.llc_ways() {
+            let bit = 1u32 << way;
+            let holders: Vec<(AppId, f64)> = self
+                .apps
+                .iter()
+                .filter(|(_, a)| a.alloc.ways.bits() & bit != 0)
+                .map(|(&id, a)| (id, a.spec.service.params().wss_mb))
+                .collect();
+            let total: f64 = holders.iter().map(|(_, w)| w).sum();
+            for (id, w) in holders {
+                *cache.get_mut(&id).expect("holder is an app") += way_mb * w / total;
+            }
+        }
+        cache
+    }
+
+    /// Effective core capacity per app after splitting time-shared cores,
+    /// plus the time-slicing penalty factor applied to service time.
+    fn effective_cores(&self) -> BTreeMap<AppId, (f64, f64)> {
+        let mut out: BTreeMap<AppId, (f64, f64)> = BTreeMap::new();
+        // Which logical cores are busy at all (for HT yield).
+        let mut busy = CoreSet::new();
+        for a in self.apps.values() {
+            busy = busy.union(a.alloc.cores);
+        }
+        for (&id, app) in &self.apps {
+            let mask = app.alloc.cores;
+            let my_weight = app.spec.threads as f64 / mask.count().max(1) as f64;
+            let mut eff = 0.0;
+            let mut holder_sum = 0.0;
+            for core in mask.iter() {
+                if core >= self.topo.logical_cores() {
+                    continue;
+                }
+                // Demand-weighted share of this core among the apps pinned to it.
+                let mut total_weight = 0.0;
+                let mut holders = 0u32;
+                for other in self.apps.values() {
+                    if other.alloc.cores.contains(core) {
+                        total_weight +=
+                            other.spec.threads as f64 / other.alloc.cores.count().max(1) as f64;
+                        holders += 1;
+                    }
+                }
+                let share = if total_weight > 0.0 { my_weight / total_weight } else { 1.0 };
+                let sibling_busy = self
+                    .topo
+                    .sibling_of(core)
+                    .map(|s| busy.contains(s))
+                    .unwrap_or(false);
+                let yield_factor = if sibling_busy { HT_SHARED_YIELD } else { 1.0 };
+                eff += share * yield_factor;
+                holder_sum += holders as f64;
+            }
+            let avg_holders = holder_sum / mask.count().max(1) as f64;
+            let penalty = 1.0 + CORE_SHARE_PENALTY * (avg_holders - 1.0).max(0.0);
+            out.insert(id, (eff, penalty));
+        }
+        out
+    }
+
+    /// Re-resolves the machine's contention equilibrium. Called whenever the
+    /// population, allocations or loads change, and on every `advance`.
+    fn recompute(&mut self) {
+        if self.apps.is_empty() {
+            return;
+        }
+        let cache = self.effective_cache();
+        let cores = self.effective_cores();
+        let bw_total = self.topo.memory_bw_gbps();
+        let freq = self.topo.frequency_ghz();
+
+        // Damped fixed point on the per-app memory-stall multipliers: every
+        // service's miss traffic loads the shared DRAM bus; as the bus
+        // approaches capacity, queueing there stretches everyone's per-miss
+        // stall, which lowers throughput, which sheds traffic — a classic
+        // congestion equilibrium. MBA caps add a per-app term.
+        for _ in 0..FIXED_POINT_ITERS {
+            let mut achieved_bw: BTreeMap<AppId, f64> = BTreeMap::new();
+            for &id in self.apps.keys().collect::<Vec<_>>() {
+                let out = self.evaluate_app(id, &cache, &cores, freq);
+                achieved_bw.insert(id, out.bw_demand_gbps);
+            }
+            let total: f64 = achieved_bw.values().sum();
+            let pressure = total / (bw_total * PRACTICAL_BW_FRACTION);
+            let bus_stall = 1.0 + DRAM_QUEUE_GAIN * pressure.powi(DRAM_QUEUE_EXPONENT);
+            for (&id, app) in self.apps.iter_mut() {
+                let cap = app.alloc.mba.fraction() * bw_total;
+                let mba_stall = (achieved_bw[&id] / cap).max(1.0);
+                let target = bus_stall * mba_stall;
+                app.mem_stall = 0.5 * app.mem_stall + 0.5 * target;
+            }
+        }
+
+        // Final evaluation and counter synthesis.
+        let ids: Vec<AppId> = self.apps.keys().copied().collect();
+        for id in ids {
+            let outcome = self.evaluate_app(id, &cache, &cores, freq);
+            let warm = self.clock - self.apps[&id].changed_at < WARMUP_WINDOW_S;
+            let noise = self.latency_noise_with(if warm { WARMUP_NOISE_SIGMA } else { 0.0 });
+            // During warm-up the PMU counters are polluted too (cache
+            // refill inflates misses and depresses IPC), which is why the
+            // paper profiles for 2 s before trusting Model-A (§V-B).
+            let counter_noise =
+                self.latency_noise_with(if warm { WARMUP_NOISE_SIGMA } else { 0.0 });
+            let app = self.apps.get_mut(&id).expect("id is placed");
+            let params = app.spec.service.params();
+            let res_gb =
+                params.res_memory_gb + params.memory_per_thread_gb * app.spec.threads as f64;
+            app.outcome = outcome;
+            app.sample = CounterSample {
+                ipc: outcome.ipc / counter_noise,
+                llc_misses_per_sec: outcome.misses_per_sec * counter_noise,
+                mbl_gbps: outcome.bw_demand_gbps * counter_noise,
+                cpu_usage: outcome.cpu_usage * counter_noise,
+                memory_util_gb: res_gb,
+                virt_memory_gb: res_gb * 1.6,
+                res_memory_gb: res_gb,
+                llc_occupancy_mb: outcome.llc_occupancy_mb,
+                allocated_cores: app.alloc.cores.count(),
+                allocated_ways: app.alloc.ways.count(),
+                frequency_ghz: freq,
+                response_latency_ms: outcome.mean_ms * noise,
+            };
+            app.latency = LatencyStats {
+                mean_ms: outcome.mean_ms * noise,
+                p95_ms: outcome.p95_ms * noise,
+                achieved_rps: outcome.achieved_rps,
+                offered_rps: app.spec.offered_rps,
+                qos_target_ms: params.qos_ms,
+            };
+        }
+    }
+
+    fn evaluate_app(
+        &self,
+        id: AppId,
+        cache: &BTreeMap<AppId, f64>,
+        cores: &BTreeMap<AppId, (f64, f64)>,
+        freq: f64,
+    ) -> PerfOutcome {
+        let app = &self.apps[&id];
+        let (eff_cores, penalty) = cores[&id];
+        let params: &ServiceParams = app.spec.service.params();
+        let input = PerfInput {
+            threads: app.spec.threads,
+            offered_rps: app.spec.offered_rps,
+            effective_cores: eff_cores / penalty,
+            logical_cores: app.alloc.cores.count(),
+            cache_mb: cache[&id],
+            frequency_ghz: freq,
+            nominal_frequency_ghz: self.topo.frequency_ghz(),
+            mem_stall: app.mem_stall,
+        };
+        perf::evaluate(params, &input)
+    }
+
+    fn latency_noise_with(&mut self, extra_sigma: f64) -> f64 {
+        let sigma = self.noise_sigma + if self.noise_sigma > 0.0 { extra_sigma } else { 0.0 };
+        if sigma == 0.0 {
+            return 1.0;
+        }
+        // Log-normal multiplicative jitter via Box-Muller.
+        let u1: f64 = self.rng.gen_range(1e-12..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (sigma * z).exp()
+    }
+}
+
+impl Substrate for SimServer {
+    fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    fn reallocate(&mut self, id: AppId, alloc: Allocation) -> Result<(), PlatformError> {
+        alloc.validate(&self.topo)?;
+        let clock = self.clock;
+        let app = self.apps.get_mut(&id).ok_or(PlatformError::UnknownApp { id: id.0 })?;
+        if app.alloc != alloc {
+            app.changed_at = clock;
+        }
+        app.alloc = alloc;
+        self.recompute();
+        Ok(())
+    }
+
+    fn remove(&mut self, id: AppId) -> Result<(), PlatformError> {
+        self.apps.remove(&id).ok_or(PlatformError::UnknownApp { id: id.0 })?;
+        self.recompute();
+        Ok(())
+    }
+
+    fn advance(&mut self, seconds: f64) {
+        self.clock += seconds.max(0.0);
+        self.recompute();
+    }
+
+    fn now(&self) -> f64 {
+        self.clock
+    }
+
+    fn apps(&self) -> Vec<AppId> {
+        self.apps.keys().copied().collect()
+    }
+
+    fn allocation(&self, id: AppId) -> Option<Allocation> {
+        self.apps.get(&id).map(|a| a.alloc)
+    }
+
+    fn sample(&self, id: AppId) -> Option<CounterSample> {
+        self.apps.get(&id).map(|a| a.sample)
+    }
+
+    fn latency(&self, id: AppId) -> Option<LatencyStats> {
+        self.apps.get(&id).map(|a| a.latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osml_platform::{MbaThrottle, WayMask};
+
+    fn alloc(cores: std::ops::Range<usize>, first_way: usize, ways: usize) -> Allocation {
+        Allocation::new(
+            CoreSet::from_cores(cores),
+            WayMask::contiguous(first_way, ways).unwrap(),
+            MbaThrottle::unthrottled(),
+        )
+    }
+
+    #[test]
+    fn solo_service_meets_qos_with_ample_resources() {
+        let mut s = SimServer::deterministic();
+        let id = s
+            .launch(LaunchSpec::new(Service::Xapian, 3000.0), alloc(0..12, 0, 16))
+            .unwrap();
+        s.advance(2.0);
+        let lat = s.latency(id).unwrap();
+        assert!(!lat.violates_qos(), "p95 {} > {}", lat.p95_ms, lat.qos_target_ms);
+        assert!((lat.achieved_rps - 3000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn starved_service_violates_qos() {
+        let mut s = SimServer::deterministic();
+        let id = s.launch(LaunchSpec::new(Service::Xapian, 5000.0), alloc(0..2, 0, 2)).unwrap();
+        s.advance(2.0);
+        assert!(s.latency(id).unwrap().violates_qos());
+    }
+
+    #[test]
+    fn co_runner_sharing_ways_slows_both() {
+        let mut s = SimServer::deterministic();
+        let a = s.launch(LaunchSpec::new(Service::Moses, 2200.0), alloc(0..8, 0, 10)).unwrap();
+        s.advance(2.0);
+        let solo_p95 = s.latency(a).unwrap().p95_ms;
+
+        // A cache-hungry neighbour overlapping all ten of Moses' ways.
+        let b = s.launch(LaunchSpec::new(Service::Specjbb, 9000.0), alloc(8..20, 0, 10)).unwrap();
+        s.advance(2.0);
+        let shared_p95 = s.latency(a).unwrap().p95_ms;
+        assert!(
+            shared_p95 > solo_p95 * 1.5,
+            "sharing all ways should hurt: solo {solo_p95:.2} vs shared {shared_p95:.2}"
+        );
+        assert!(s.latency(b).is_some());
+    }
+
+    #[test]
+    fn disjoint_partitions_isolate_cache() {
+        let mut s = SimServer::deterministic();
+        let a = s.launch(LaunchSpec::new(Service::Moses, 2200.0), alloc(0..8, 0, 10)).unwrap();
+        s.advance(2.0);
+        let solo_p95 = s.latency(a).unwrap().p95_ms;
+
+        // Same neighbour but on disjoint ways and cores; only bandwidth is
+        // shared, so Moses should degrade far less than under way sharing.
+        let _b = s.launch(LaunchSpec::new(Service::ImgDnn, 2000.0), alloc(8..16, 10, 10)).unwrap();
+        s.advance(2.0);
+        let iso_p95 = s.latency(a).unwrap().p95_ms;
+        assert!(
+            iso_p95 < solo_p95 * 1.3,
+            "disjoint partitions should isolate: solo {solo_p95:.2} vs {iso_p95:.2}"
+        );
+    }
+
+    #[test]
+    fn core_sharing_splits_capacity() {
+        let mut s = SimServer::deterministic();
+        let a = s.launch(LaunchSpec::new(Service::ImgDnn, 3000.0), alloc(0..8, 0, 4)).unwrap();
+        s.advance(1.0);
+        let solo_cap = s.outcome(a).unwrap().capacity_rps;
+        let _b = s.launch(LaunchSpec::new(Service::Nginx, 100_000.0), alloc(0..8, 4, 4)).unwrap();
+        s.advance(1.0);
+        let shared_cap = s.outcome(a).unwrap().capacity_rps;
+        assert!(
+            shared_cap < solo_cap * 0.75,
+            "time-shared cores must cut capacity: {solo_cap:.0} -> {shared_cap:.0}"
+        );
+    }
+
+    #[test]
+    fn bandwidth_saturation_couples_services() {
+        let mut s = SimServer::deterministic();
+        // Two bandwidth-hungry services with tiny cache allocations so their
+        // miss traffic is huge.
+        let a = s.launch(LaunchSpec::new(Service::Moses, 2800.0), alloc(0..9, 0, 2)).unwrap();
+        s.advance(1.0);
+        let lone = s.outcome(a).unwrap().service_time_ms;
+        let _b = s.launch(LaunchSpec::new(Service::Specjbb, 15_000.0), alloc(9..18, 2, 2)).unwrap();
+        s.advance(1.0);
+        let contended = s.outcome(a).unwrap().service_time_ms;
+        assert!(
+            contended > lone * 1.02,
+            "DRAM contention should stretch service time: {lone:.3} -> {contended:.3}"
+        );
+    }
+
+    #[test]
+    fn mba_throttle_slows_a_bandwidth_hog() {
+        let mut s = SimServer::deterministic();
+        let mut a = alloc(0..9, 0, 2);
+        let id = s.launch(LaunchSpec::new(Service::Moses, 2800.0), a).unwrap();
+        s.advance(1.0);
+        let free = s.outcome(id).unwrap().p95_ms;
+        a.mba = MbaThrottle::percent(10).unwrap();
+        s.reallocate(id, a).unwrap();
+        s.advance(1.0);
+        let throttled = s.outcome(id).unwrap().p95_ms;
+        assert!(throttled > free, "a 10% MBA cap must hurt: {free:.2} -> {throttled:.2}");
+    }
+
+    #[test]
+    fn remove_restores_the_neighbours() {
+        let mut s = SimServer::deterministic();
+        let a = s.launch(LaunchSpec::new(Service::Moses, 2200.0), alloc(0..8, 0, 10)).unwrap();
+        let b = s.launch(LaunchSpec::new(Service::Specjbb, 12_000.0), alloc(8..20, 0, 10)).unwrap();
+        s.advance(2.0);
+        let contended = s.latency(a).unwrap().p95_ms;
+        s.remove(b).unwrap();
+        s.advance(2.0);
+        let relieved = s.latency(a).unwrap().p95_ms;
+        assert!(relieved < contended);
+        assert_eq!(s.apps().len(), 1);
+    }
+
+    #[test]
+    fn set_load_moves_latency() {
+        let mut s = SimServer::deterministic();
+        let id = s.launch(LaunchSpec::new(Service::Masstree, 2000.0), alloc(0..6, 0, 12)).unwrap();
+        s.advance(1.0);
+        let low = s.latency(id).unwrap().p95_ms;
+        s.set_load(id, 4600.0).unwrap();
+        s.advance(1.0);
+        let high = s.latency(id).unwrap().p95_ms;
+        assert!(high > low);
+        assert!(s.set_load(AppId(99), 1.0).is_err());
+    }
+
+    #[test]
+    fn idle_accounting_via_substrate() {
+        let mut s = SimServer::deterministic();
+        let _ = s.launch(LaunchSpec::new(Service::Login, 300.0), alloc(0..2, 0, 2)).unwrap();
+        assert_eq!(s.idle_cores().count(), 34);
+        assert_eq!(s.idle_way_count(), 18);
+        let m = s.find_free_ways(18, None).unwrap();
+        assert_eq!(m.first(), 2);
+    }
+
+    #[test]
+    fn counters_are_synthesized() {
+        let mut s = SimServer::deterministic();
+        let id = s.launch(LaunchSpec::new(Service::MongoDb, 5000.0), alloc(0..10, 0, 10)).unwrap();
+        s.advance(2.0);
+        let c = s.sample(id).unwrap();
+        assert!(c.ipc > 0.0 && c.ipc <= 2.5);
+        assert!(c.llc_misses_per_sec > 0.0);
+        assert!(c.mbl_gbps > 0.0);
+        assert!(c.cpu_usage > 0.0);
+        assert!(c.res_memory_gb > 0.0 && c.virt_memory_gb > c.res_memory_gb);
+        assert_eq!(c.allocated_cores, 10);
+        assert_eq!(c.allocated_ways, 10);
+        assert!((c.frequency_ghz - 2.3).abs() < 1e-12);
+        assert!(c.response_latency_ms > 0.0);
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut s = SimServer::new(SimConfig { seed, ..SimConfig::default() });
+            let id =
+                s.launch(LaunchSpec::new(Service::Xapian, 4000.0), alloc(0..10, 0, 10)).unwrap();
+            s.advance(2.0);
+            s.latency(id).unwrap().p95_ms
+        };
+        assert_eq!(run(7).to_bits(), run(7).to_bits());
+        assert_ne!(run(7).to_bits(), run(8).to_bits());
+    }
+
+    #[test]
+    fn clock_advances() {
+        let mut s = SimServer::deterministic();
+        assert_eq!(s.now(), 0.0);
+        s.advance(2.0);
+        s.advance(1.5);
+        assert!((s.now() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn launch_rejects_invalid_allocation() {
+        let mut s = SimServer::deterministic();
+        let bad = Allocation::new(
+            CoreSet::from_cores([40]),
+            WayMask::first_n(4),
+            MbaThrottle::unthrottled(),
+        );
+        assert!(s.launch(LaunchSpec::new(Service::Ads, 100.0), bad).is_err());
+    }
+}

@@ -1,0 +1,70 @@
+//! Explore the Resource Cliff (paper §III-A): print a latency heatmap over
+//! the (cores, LLC ways) plane for one service, with the cliff frontier and
+//! the Optimal Allocation Area marked.
+//!
+//! ```sh
+//! cargo run --release --example resource_cliff [service] [load_pct]
+//! # e.g.
+//! cargo run --release --example resource_cliff moses 70
+//! ```
+
+use osml::platform::Topology;
+use osml::workloads::oaa::{AllocPoint, LatencyGrid};
+use osml::workloads::Service;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let service = args
+        .next()
+        .map(|s| Service::from_name(&s).unwrap_or_else(|| panic!("unknown service '{s}'")))
+        .unwrap_or(Service::Moses);
+    let pct: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(70.0);
+    let rps = service.params().nominal_max_rps() * pct / 100.0;
+
+    let topo = Topology::xeon_e5_2697_v4();
+    let grid = LatencyGrid::sweep(&topo, service, service.params().default_threads, rps);
+    let qos = service.params().qos_ms;
+    println!(
+        "{service} @ {rps:.0} RPS ({pct:.0}% of max), QoS target {qos} ms, {} threads",
+        service.params().default_threads
+    );
+    println!("cells: p95 in ms ('-' >= 100x QoS); '|' marks the cliff frontier; 'O' the OAA\n");
+
+    let frontier = grid.rcliff_frontier();
+    let oaa = grid.oaa();
+    print!("cores\\ways");
+    for w in 1..=grid.max_ways {
+        print!("{w:>7}");
+    }
+    println!();
+    for cores in (1..=grid.max_cores).rev().step_by(2) {
+        print!("{cores:>10}");
+        for ways in 1..=grid.max_ways {
+            let p = AllocPoint::new(cores, ways);
+            let v = grid.p95(p);
+            let marker = if oaa == Some(p) {
+                "O".to_owned()
+            } else if frontier[cores - 1] == Some(ways) {
+                format!("|{v:.0}")
+            } else if v >= 100.0 * qos {
+                "-".to_owned()
+            } else {
+                format!("{v:.0}")
+            };
+            print!("{marker:>7}");
+        }
+        println!();
+    }
+    println!();
+    match (grid.rcliff(), grid.oaa()) {
+        (Some(cliff), Some(oaa)) => {
+            println!("RCliff: <{} cores, {} ways>  (one step below explodes latency)", cliff.cores, cliff.ways);
+            println!("OAA:    <{} cores, {} ways>  (the allocation OSML targets)", oaa.cores, oaa.ways);
+            println!("cliff magnitude: {:.0}x across one deprivation step", grid.cliff_magnitude());
+            if let Some(bw) = grid.oaa_bandwidth_gbps() {
+                println!("OAA bandwidth requirement: {bw:.1} GB/s");
+            }
+        }
+        _ => println!("this load is infeasible even with the whole machine"),
+    }
+}

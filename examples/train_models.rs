@@ -1,0 +1,53 @@
+//! End-to-end model training (the paper's §IV pipeline): run the sweep
+//! methodology against the simulator, train Model-A/B/B'/C, and report
+//! corpus sizes and accuracy metrics.
+//!
+//! ```sh
+//! cargo run --release --example train_models            # laptop-scale sweep
+//! cargo run --release --example train_models -- paper   # the paper's full grid (minutes)
+//! ```
+
+use osml::dataset::{
+    model_a_corpus, model_b_corpus, model_b_prime_corpus, model_c_transitions, SweepConfig,
+    TrainedModels, TrainingConfig,
+};
+
+fn main() {
+    let full = std::env::args().nth(1).as_deref() == Some("paper");
+    let sweep = if full { SweepConfig::paper() } else { SweepConfig::default() };
+    println!(
+        "sweep: {} services, core step {}, way step {}, {} thread counts, {} load points",
+        sweep.services.len(),
+        sweep.core_step,
+        sweep.way_step,
+        sweep.thread_counts.len(),
+        sweep.load_points().len(),
+    );
+
+    let t0 = std::time::Instant::now();
+    let a = model_a_corpus(&sweep);
+    println!("model-a corpus: {:>8} samples ({:?})", a.len(), t0.elapsed());
+    let t = std::time::Instant::now();
+    let b = model_b_corpus(&sweep);
+    println!("model-b corpus: {:>8} samples ({:?})", b.len(), t.elapsed());
+    let t = std::time::Instant::now();
+    let bp = model_b_prime_corpus(&sweep);
+    println!("model-b' corpus: {:>7} samples ({:?})", bp.len(), t.elapsed());
+    let t = std::time::Instant::now();
+    let c = model_c_transitions(&sweep);
+    println!("model-c tuples: {:>8} transitions ({:?})", c.len(), t.elapsed());
+
+    println!("\ntraining the full suite...");
+    let t = std::time::Instant::now();
+    let trained = TrainedModels::train(&TrainingConfig { sweep, ..TrainingConfig::default() });
+    println!("trained in {:?}", t.elapsed());
+    println!("model-a validation: {:?}", trained.report_a.validation_metrics);
+    println!("model-b validation: {:?}", trained.report_b.validation_metrics);
+    println!("model-b' validation: {:?}", trained.report_b_prime.validation_metrics);
+    println!("model-c experience pool: {} tuples", trained.model_c.pool_len());
+    println!(
+        "\nnetwork sizes: model-a {} params, policy net {} params",
+        trained.model_a.mlp().parameter_count(),
+        trained.model_c.policy().parameter_count(),
+    );
+}
