@@ -1,6 +1,4 @@
-use osml_platform::{
-    Allocation, CoreSet, MbaThrottle, Substrate, Topology, WayMask,
-};
+use osml_platform::{Allocation, CoreSet, MbaThrottle, Substrate, Topology, WayMask};
 use osml_workloads::oaa::LatencyGrid;
 use osml_workloads::{LaunchSpec, SimConfig, SimServer};
 
@@ -61,7 +59,7 @@ impl Oracle {
             if *w < best_ways {
                 best_ways = *w;
                 out.push((cores, *w));
-                if *w + 1 <= self.topo.llc_ways() {
+                if *w < self.topo.llc_ways() {
                     out.push((cores, *w + 1));
                 }
                 if *w + 2 <= self.topo.llc_ways() {
@@ -96,11 +94,8 @@ impl Oracle {
         {
             return None;
         }
-        let mut server = SimServer::new(SimConfig {
-            topology: self.topo.clone(),
-            noise_sigma: 0.0,
-            seed: 0,
-        });
+        let mut server =
+            SimServer::new(SimConfig { topology: self.topo.clone(), noise_sigma: 0.0, seed: 0 });
         let mut next_core = 0usize;
         let mut next_way = 0usize;
         let mut ids = Vec::new();
@@ -130,8 +125,9 @@ impl Oracle {
             if slacks.iter().all(|&s| s >= 0.0) {
                 return Some(plan);
             }
-            let worst =
-                (0..slacks.len()).min_by(|&a, &b| slacks[a].total_cmp(&slacks[b])).expect("nonempty");
+            let worst = (0..slacks.len())
+                .min_by(|&a, &b| slacks[a].total_cmp(&slacks[b]))
+                .expect("nonempty");
             // Candidate moves: one core or one way from any other service
             // (or from the idle pool) to the worst one.
             let mut best_move: Option<(PartitionPlan, Vec<f64>, f64)> = None;
@@ -148,8 +144,8 @@ impl Oracle {
                 p.shares[worst].1 += 1;
                 candidates.push(p);
             }
-            for donor in 0..plan.shares.len() {
-                if donor == worst || slacks[donor] <= 0.0 {
+            for (donor, &slack) in slacks.iter().enumerate() {
+                if donor == worst || slack <= 0.0 {
                     continue;
                 }
                 if plan.shares[donor].0 > 1 {
@@ -169,9 +165,7 @@ impl Oracle {
             for cand in candidates {
                 if let Some(s) = self.plan_slacks(specs, &cand) {
                     let m = s.iter().copied().fold(f64::INFINITY, f64::min);
-                    if m > current_min
-                        && best_move.as_ref().is_none_or(|&(_, _, bm)| m > bm)
-                    {
+                    if m > current_min && best_move.as_ref().is_none_or(|&(_, _, bm)| m > bm) {
                         best_move = Some((cand, s, m));
                     }
                 }
@@ -189,11 +183,8 @@ impl Oracle {
 
     /// Evaluates a concrete partition on the contention-aware simulator.
     fn plan_meets_qos(&self, specs: &[LaunchSpec], plan: &PartitionPlan) -> bool {
-        let mut server = SimServer::new(SimConfig {
-            topology: self.topo.clone(),
-            noise_sigma: 0.0,
-            seed: 0,
-        });
+        let mut server =
+            SimServer::new(SimConfig { topology: self.topo.clone(), noise_sigma: 0.0, seed: 0 });
         let mut next_core = 0usize;
         let mut next_way = 0usize;
         let mut ids = Vec::new();
@@ -211,9 +202,7 @@ impl Oracle {
             }
         }
         server.advance(2.0);
-        ids.iter().all(|&id| {
-            server.latency(id).map(|l| !l.violates_qos()).unwrap_or(false)
-        })
+        ids.iter().all(|&id| server.latency(id).map(|l| !l.violates_qos()).unwrap_or(false))
     }
 
     /// Finds a QoS-feasible static partition for the given co-location, or

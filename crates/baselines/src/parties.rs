@@ -137,9 +137,7 @@ impl Parties {
         server
             .apps()
             .into_iter()
-            .filter_map(|id| {
-                server.allocation(id).map(|a| (id, (a.cores.count(), a.ways.count())))
-            })
+            .filter_map(|id| server.allocation(id).map(|a| (id, (a.cores.count(), a.ways.count()))))
             .collect()
     }
 
@@ -309,9 +307,12 @@ mod tests {
     fn arrival_installs_an_equal_partition() {
         let mut server = SimServer::deterministic();
         let mut p = Parties::new();
-        let a = server.launch(LaunchSpec::at_percent_load(Service::Moses, 40.0), seed_alloc()).unwrap();
+        let a =
+            server.launch(LaunchSpec::at_percent_load(Service::Moses, 40.0), seed_alloc()).unwrap();
         p.on_arrival(&mut server, a);
-        let b = server.launch(LaunchSpec::at_percent_load(Service::Xapian, 40.0), seed_alloc()).unwrap();
+        let b = server
+            .launch(LaunchSpec::at_percent_load(Service::Xapian, 40.0), seed_alloc())
+            .unwrap();
         p.on_arrival(&mut server, b);
         let alloc_a = server.allocation(a).unwrap();
         let alloc_b = server.allocation(b).unwrap();
@@ -328,8 +329,9 @@ mod tests {
         let mut p = Parties::new();
         // One service at a demanding load, starting from a half-machine
         // partition with a phantom light neighbour holding the rest.
-        let heavy =
-            server.launch(LaunchSpec::at_percent_load(Service::Xapian, 70.0), seed_alloc()).unwrap();
+        let heavy = server
+            .launch(LaunchSpec::at_percent_load(Service::Xapian, 70.0), seed_alloc())
+            .unwrap();
         p.on_arrival(&mut server, heavy);
         let light =
             server.launch(LaunchSpec::at_percent_load(Service::Login, 20.0), seed_alloc()).unwrap();
@@ -366,9 +368,8 @@ mod tests {
         // A service with slack; PARTIES will try to downsize it. At some
         // point a downsize crosses the cliff and must be reverted, leaving
         // QoS met at steady state.
-        let id = server
-            .launch(LaunchSpec::at_percent_load(Service::Moses, 60.0), seed_alloc())
-            .unwrap();
+        let id =
+            server.launch(LaunchSpec::at_percent_load(Service::Moses, 60.0), seed_alloc()).unwrap();
         p.on_arrival(&mut server, id);
         run(&mut server, &mut p, 150);
         let lat = server.latency(id).unwrap();
@@ -387,9 +388,12 @@ mod tests {
     fn stealing_requires_a_donor_with_slack() {
         let mut server = SimServer::deterministic();
         let mut p = Parties::new();
-        let a = server.launch(LaunchSpec::at_percent_load(Service::Xapian, 95.0), seed_alloc()).unwrap();
+        let a = server
+            .launch(LaunchSpec::at_percent_load(Service::Xapian, 95.0), seed_alloc())
+            .unwrap();
         p.on_arrival(&mut server, a);
-        let b = server.launch(LaunchSpec::at_percent_load(Service::Login, 10.0), seed_alloc()).unwrap();
+        let b =
+            server.launch(LaunchSpec::at_percent_load(Service::Login, 10.0), seed_alloc()).unwrap();
         p.on_arrival(&mut server, b);
         run(&mut server, &mut p, 150);
         // The heavy app should have stolen resources from the light one.

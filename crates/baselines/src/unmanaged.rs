@@ -51,11 +51,8 @@ mod tests {
     fn unmanaged_gives_everyone_the_whole_machine() {
         let mut server = SimServer::deterministic();
         let mut sched = Unmanaged::new();
-        let seed_alloc = Allocation::new(
-            CoreSet::first_n(2),
-            WayMask::first_n(2),
-            MbaThrottle::unthrottled(),
-        );
+        let seed_alloc =
+            Allocation::new(CoreSet::first_n(2), WayMask::first_n(2), MbaThrottle::unthrottled());
         let a = server.launch(LaunchSpec::new(Service::Moses, 1500.0), seed_alloc).unwrap();
         let b = server.launch(LaunchSpec::new(Service::Xapian, 2000.0), seed_alloc).unwrap();
         assert_eq!(sched.on_arrival(&mut server, a), Placement::Placed);
@@ -76,11 +73,8 @@ mod tests {
         // than a clean half-half partition would.
         let mut shared = SimServer::deterministic();
         let mut sched = Unmanaged::new();
-        let seed = Allocation::new(
-            CoreSet::first_n(1),
-            WayMask::first_n(1),
-            MbaThrottle::unthrottled(),
-        );
+        let seed =
+            Allocation::new(CoreSet::first_n(1), WayMask::first_n(1), MbaThrottle::unthrottled());
         let a = shared.launch(LaunchSpec::at_percent_load(Service::Moses, 60.0), seed).unwrap();
         let b = shared.launch(LaunchSpec::at_percent_load(Service::Specjbb, 60.0), seed).unwrap();
         sched.on_arrival(&mut shared, a);

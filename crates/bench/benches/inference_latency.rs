@@ -3,6 +3,7 @@
 //! implementation answers in microseconds).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use osml_ml::{loss::Mse, Adam, Matrix, Mlp, MlpConfig};
 use osml_models::{features, ModelA, ModelB, ModelBPrime, ModelC};
 use osml_platform::CounterSample;
 use std::hint::black_box;
@@ -50,5 +51,53 @@ fn bench_inference(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_inference);
+/// Deterministic pseudo-random matrix for kernel benchmarks.
+fn filled(rows: usize, cols: usize, seed: u32) -> Matrix {
+    let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+    let mut m = Matrix::zeros(rows, cols);
+    for v in m.as_mut_slice() {
+        state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+        *v = (state >> 8) as f32 / (1 << 24) as f32 - 0.5;
+    }
+    m
+}
+
+/// The matrix and MLP kernels on the shapes the training loop actually
+/// runs: batch 128 through the paper's [36, 40, 40, 40, 20] network.
+fn bench_kernels(c: &mut Criterion) {
+    let a = filled(128, 36, 1);
+    let w = filled(36, 40, 2);
+    let bias = vec![0.1f32; 40];
+    let mlp = Mlp::new(&MlpConfig::paper_mlp(36, 20, 7));
+    let x = filled(128, 36, 3);
+    let y = filled(128, 20, 4);
+
+    let mut group = c.benchmark_group("kernels");
+    group.bench_function("matmul_128x36x40", |b| b.iter(|| black_box(a.matmul(black_box(&w)))));
+    group.bench_function("matmul_bias_relu_into_128x36x40", |b| {
+        let mut out = Matrix::zeros(0, 0);
+        b.iter(|| {
+            a.matmul_bias_act_into(black_box(&w), &bias, true, &mut out);
+            black_box(out.as_slice()[0])
+        })
+    });
+    group.bench_function("transpose_matmul_128x36x40", |b| {
+        let delta = filled(128, 40, 5);
+        b.iter(|| black_box(a.transpose_matmul(black_box(&delta))))
+    });
+    group.bench_function("forward_batch_128", |b| {
+        b.iter(|| black_box(mlp.forward_batch(black_box(&x))))
+    });
+    group.bench_function("gradients_128", |b| {
+        b.iter(|| black_box(mlp.gradients(black_box(&x), &y, &Mse).1))
+    });
+    group.bench_function("train_batch_128", |b| {
+        let mut net = mlp.clone();
+        let mut adam = Adam::with_defaults(&net);
+        b.iter(|| black_box(net.train_batch(black_box(&x), &y, &Mse, &mut adam)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference, bench_kernels);
 criterion_main!(benches);

@@ -3,7 +3,8 @@
 //! make the training corpus and the grid experiments tractable.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use osml_baselines::Parties;
+use osml_baselines::{Parties, Unmanaged};
+use osml_bench::grid::colocation_grid_jobs;
 use osml_bench::scenario::bootstrap_allocation;
 use osml_platform::{Scheduler, Substrate, Topology};
 use osml_workloads::oaa::LatencyGrid;
@@ -68,5 +69,31 @@ fn bench_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_throughput);
+/// A small co-location grid, sequential vs parallel — the shape of work the
+/// figure suite spends its wall-clock on.
+fn bench_grid(c: &mut Criterion) {
+    let steps = [20usize, 60];
+    let run = |jobs: usize| {
+        colocation_grid_jobs(
+            jobs,
+            "unmanaged",
+            Unmanaged::new,
+            Service::ImgDnn,
+            Service::Xapian,
+            Service::Moses,
+            &[],
+            &steps,
+            10,
+        )
+    };
+    let workers = osml_ml::par::jobs_from_env().max(2);
+    let mut group = c.benchmark_group("grid");
+    group.bench_function("colocation_2x2_jobs_1", |b| b.iter(|| black_box(run(1).cells)));
+    group.bench_function(format!("colocation_2x2_jobs_{workers}"), |b| {
+        b.iter(|| black_box(run(workers).cells))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput, bench_grid);
 criterion_main!(benches);

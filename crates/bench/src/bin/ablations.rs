@@ -65,12 +65,7 @@ fn margin(rows: &mut Vec<Row>) {
                 total += 1;
                 extra_resources += oaa.total() - cliff.total();
                 // Does the allocation survive a 10 % load bump?
-                let bumped = LatencyGrid::sweep(
-                    &topo,
-                    s,
-                    s.params().default_threads,
-                    rps * 1.10,
-                );
+                let bumped = LatencyGrid::sweep(&topo, s, s.params().default_threads, rps * 1.10);
                 if bumped.meets_qos(oaa) {
                     survived += 1;
                 }

@@ -3,10 +3,10 @@
 //! function of Img-dnn (x) and Xapian (y) loads, for Unmanaged, PARTIES and
 //! OSML.
 
+use osml_baselines::{Parties, Unmanaged};
 use osml_bench::grid::{colocation_grid, ColocationGrid};
 use osml_bench::report;
 use osml_bench::suite::{trained_suite, SuiteConfig};
-use osml_baselines::{Parties, Unmanaged};
 use osml_workloads::Service;
 
 fn main() {
@@ -15,24 +15,14 @@ fn main() {
     let (x, y, probe) = (Service::ImgDnn, Service::Xapian, Service::Moses);
 
     println!("== Fig. 10: co-location of xapian, img-dnn, moses ==\n");
-    let unmanaged =
-        colocation_grid("unmanaged", Unmanaged::new, x, y, probe, &[], &steps, settle);
+    let unmanaged = colocation_grid("unmanaged", Unmanaged::new, x, y, probe, &[], &steps, settle);
     println!("{}", report::render_grid(&unmanaged));
 
     let parties = colocation_grid("parties", Parties::new, x, y, probe, &[], &steps, settle);
     println!("{}", report::render_grid(&parties));
 
     let osml_template = trained_suite(SuiteConfig::Standard);
-    let osml = colocation_grid(
-        "osml",
-        || osml_template.clone(),
-        x,
-        y,
-        probe,
-        &[],
-        &steps,
-        settle,
-    );
+    let osml = colocation_grid("osml", || osml_template.clone(), x, y, probe, &[], &steps, settle);
     println!("{}", report::render_grid(&osml));
 
     let grids: Vec<&ColocationGrid> = vec![&unmanaged, &parties, &osml];

@@ -1,10 +1,10 @@
 //! Fig. 11: co-location of four services — Moses (x), Specjbb (y), Xapian
 //! (probe), with Sphinx in the background at 10 % of its max load.
 
+use osml_baselines::{Parties, Unmanaged};
 use osml_bench::grid::{colocation_grid, ColocationGrid};
 use osml_bench::report;
 use osml_bench::suite::{trained_suite, SuiteConfig};
-use osml_baselines::{Parties, Unmanaged};
 use osml_workloads::Service;
 
 fn main() {
@@ -23,16 +23,8 @@ fn main() {
     println!("{}", report::render_grid(&parties));
 
     let osml_template = trained_suite(SuiteConfig::Standard);
-    let osml = colocation_grid(
-        "osml",
-        || osml_template.clone(),
-        x,
-        y,
-        probe,
-        &background,
-        &steps,
-        settle,
-    );
+    let osml =
+        colocation_grid("osml", || osml_template.clone(), x, y, probe, &background, &steps, settle);
     println!("{}", report::render_grid(&osml));
 
     let grids: Vec<&ColocationGrid> = vec![&unmanaged, &parties, &osml];

@@ -3,10 +3,10 @@
 //! panel. The paper's claim: OSML behaves close to the Oracle, reaching
 //! ~90 % of it in the highlighted cells.
 
+use osml_baselines::{Parties, Unmanaged};
 use osml_bench::grid::{colocation_grid, oracle_grid, ColocationGrid};
 use osml_bench::report;
 use osml_bench::suite::{trained_suite, SuiteConfig};
-use osml_baselines::{Parties, Unmanaged};
 use osml_workloads::Service;
 
 fn main() {
@@ -25,16 +25,8 @@ fn main() {
     println!("{}", report::render_grid(&parties));
 
     let osml_template = trained_suite(SuiteConfig::Standard);
-    let osml = colocation_grid(
-        "osml",
-        || osml_template.clone(),
-        x,
-        y,
-        probe,
-        &background,
-        &steps,
-        settle,
-    );
+    let osml =
+        colocation_grid("osml", || osml_template.clone(), x, y, probe, &background, &steps, settle);
     println!("{}", report::render_grid(&osml));
 
     let oracle = oracle_grid(x, y, probe, &background, &steps);

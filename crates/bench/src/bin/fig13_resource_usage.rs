@@ -2,10 +2,10 @@
 //! converges with fewer actions and leaves more idle cores/ways than
 //! PARTIES.
 
+use osml_baselines::Parties;
 use osml_bench::report;
 use osml_bench::suite::{trained_suite, SuiteConfig};
 use osml_bench::timeline::{run_timeline, TimelineSummary};
-use osml_baselines::Parties;
 use osml_platform::Scheduler;
 use osml_workloads::loadgen::ArrivalScript;
 use serde::Serialize;

@@ -4,10 +4,10 @@
 //! re-stabilize quickly after each disturbance; PARTIES lags and may have to
 //! migrate services away.
 
+use osml_baselines::Parties;
 use osml_bench::report;
 use osml_bench::suite::{trained_suite, SuiteConfig};
 use osml_bench::timeline::{run_timeline, TimelineRecord, TimelineSummary};
-use osml_baselines::Parties;
 use osml_workloads::loadgen::ArrivalScript;
 
 fn print_trace(name: &str, records: &[TimelineRecord]) {
@@ -17,9 +17,7 @@ fn print_trace(name: &str, records: &[TimelineRecord]) {
         let svc: Vec<String> = r
             .services
             .iter()
-            .map(|s| {
-                format!("{}={:.1}x({},{})", s.service, s.latency_over_target, s.cores, s.ways)
-            })
+            .map(|s| format!("{}={:.1}x({},{})", s.service, s.latency_over_target, s.cores, s.ways))
             .collect();
         let migrated = if r.migrated.is_empty() {
             String::new()

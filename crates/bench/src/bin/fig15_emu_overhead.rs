@@ -1,11 +1,11 @@
 //! Fig. 15: OSML's headline numbers — higher EMU (effective machine
 //! utilization) than PARTIES and roughly 1/5 the scheduling actions.
 
+use osml_baselines::{Parties, Unmanaged};
 use osml_bench::grid::colocation_grid;
 use osml_bench::report;
 use osml_bench::suite::{trained_suite, SuiteConfig};
 use osml_bench::timeline::{run_timeline, TimelineSummary};
-use osml_baselines::{Parties, Unmanaged};
 use osml_workloads::loadgen::ArrivalScript;
 use osml_workloads::Service;
 use serde::Serialize;
@@ -26,8 +26,7 @@ fn main() {
     let osml_template = trained_suite(SuiteConfig::Standard);
 
     let mut emu = Vec::new();
-    let unmanaged =
-        colocation_grid("unmanaged", Unmanaged::new, x, y, probe, &[], &steps, settle);
+    let unmanaged = colocation_grid("unmanaged", Unmanaged::new, x, y, probe, &[], &steps, settle);
     emu.push(("unmanaged".to_owned(), unmanaged.mean_emu()));
     let parties = colocation_grid("parties", Parties::new, x, y, probe, &[], &steps, settle);
     emu.push(("parties".to_owned(), parties.mean_emu()));

@@ -2,10 +2,10 @@
 //! OAA in a single action where PARTIES needs several, and a PARTIES
 //! deprivation pushes Img-dnn over its RCliff.
 
+use osml_baselines::Parties;
 use osml_bench::report;
 use osml_bench::suite::{trained_suite, SuiteConfig};
 use osml_bench::timeline::{run_timeline, TimelineRecord};
-use osml_baselines::Parties;
 use osml_workloads::loadgen::{ArrivalEvent, ArrivalScript, LoadSchedule};
 use osml_workloads::Service;
 use serde::Serialize;
@@ -29,7 +29,10 @@ fn script() -> ArrivalScript {
                 depart_s: f64::INFINITY,
                 threads: Service::Xapian.params().default_threads,
                 load: LoadSchedule::Steps {
-                    steps: vec![(40.0, pct(Service::Xapian, 30.0)), (56.0, pct(Service::Xapian, 50.0))],
+                    steps: vec![
+                        (40.0, pct(Service::Xapian, 30.0)),
+                        (56.0, pct(Service::Xapian, 50.0)),
+                    ],
                 },
             },
         ],
@@ -51,12 +54,7 @@ struct CaseStudy {
 
 fn analyze(policy: &str, records: Vec<TimelineRecord>) -> CaseStudy {
     let actions_at = |t: f64| -> usize {
-        records
-            .iter()
-            .filter(|r| r.time_s <= t)
-            .next_back()
-            .map(|r| r.actions)
-            .unwrap_or(0)
+        records.iter().rfind(|r| r.time_s <= t).map(|r| r.actions).unwrap_or(0)
     };
     let actions_after_arrival = actions_at(50.0).saturating_sub(actions_at(39.0));
     let actions_after_step = actions_at(70.0).saturating_sub(actions_at(55.0));
@@ -77,7 +75,9 @@ fn analyze(policy: &str, records: Vec<TimelineRecord>) -> CaseStudy {
 }
 
 fn main() {
-    println!("== Fig. 16: scheduling case study (img-dnn steady, xapian arrives @40s, steps @56s) ==\n");
+    println!(
+        "== Fig. 16: scheduling case study (img-dnn steady, xapian arrives @40s, steps @56s) ==\n"
+    );
     let s = script();
     let mut parties = Parties::new();
     let parties_case = analyze("parties", run_timeline(&mut parties, &s, 0x16));

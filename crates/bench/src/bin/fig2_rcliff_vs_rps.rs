@@ -20,8 +20,14 @@ struct ServiceShift {
 
 fn main() {
     let topo = Topology::xeon_e5_2697_v4();
-    let services =
-        [Service::Moses, Service::ImgDnn, Service::Xapian, Service::Specjbb, Service::Sphinx, Service::MongoDb];
+    let services = [
+        Service::Moses,
+        Service::ImgDnn,
+        Service::Xapian,
+        Service::Specjbb,
+        Service::Sphinx,
+        Service::MongoDb,
+    ];
     println!("== Fig. 2: RCliff position across Table-1 loads ==\n");
     let mut out = Vec::new();
     let mut rows = Vec::new();
@@ -35,8 +41,11 @@ fn main() {
             let step = (b.total() as f64 - a.total() as f64).abs() / a.total() as f64;
             variations.push(step * 100.0);
         }
-        let mean_variation =
-            if variations.is_empty() { 0.0 } else { variations.iter().sum::<f64>() / variations.len() as f64 };
+        let mean_variation = if variations.is_empty() {
+            0.0
+        } else {
+            variations.iter().sum::<f64>() / variations.len() as f64
+        };
         rows.push(vec![
             service.name().to_owned(),
             feasible
@@ -56,8 +65,7 @@ fn main() {
         "{}",
         report::render_table(&["service", "rps:(cliff cores, ways)", "mean shift/step"], &rows)
     );
-    let grand =
-        out.iter().map(|s| s.mean_variation_pct).sum::<f64>() / out.len() as f64;
+    let grand = out.iter().map(|s| s.mean_variation_pct).sum::<f64>() / out.len() as f64;
     println!(
         "mean per-step cliff variation across services: {grand:.1}% (paper reports 8.80% average)"
     );

@@ -20,11 +20,7 @@ struct ThreadCase {
 
 fn main() {
     let topo = Topology::xeon_e5_2697_v4();
-    let cases = [
-        (Service::Moses, 1800.0),
-        (Service::Xapian, 4400.0),
-        (Service::ImgDnn, 4000.0),
-    ];
+    let cases = [(Service::Moses, 1800.0), (Service::Xapian, 4400.0), (Service::ImgDnn, 4000.0)];
     let thread_counts = [8usize, 16, 20, 28, 36];
     println!("== Fig. 3: OAA vs number of launched threads ==\n");
     let mut out = Vec::new();

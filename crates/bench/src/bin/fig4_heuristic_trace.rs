@@ -3,9 +3,9 @@
 //! times the target and a long convergence tail, because the scheduler is
 //! blind to RCliffs.
 
+use osml_baselines::Parties;
 use osml_bench::report;
 use osml_bench::timeline::{run_timeline, TimelineSummary};
-use osml_baselines::Parties;
 use osml_workloads::loadgen::ArrivalScript;
 
 fn main() {

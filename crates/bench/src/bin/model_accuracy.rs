@@ -29,10 +29,7 @@ fn main() {
         report_a.validation_metrics
     );
     let (model_bp, report_bp) = train_model_b_prime(&cfg);
-    println!(
-        "model-b' training: final val metrics {:?}\n",
-        report_bp.validation_metrics
-    );
+    println!("model-b' training: final val metrics {:?}\n", report_bp.validation_metrics);
 
     let topo = Topology::xeon_e5_2697_v4();
     // Held-out loads: Table-1 indices 1 and 3 were never in the default
@@ -77,12 +74,13 @@ fn main() {
     let n = rows.len() as f64;
     let mae_c = rows.iter().map(|r| r.cores_error.abs() as f64).sum::<f64>() / n;
     let mae_w = rows.iter().map(|r| r.ways_error.abs() as f64).sum::<f64>() / n;
-    let within2 = rows
-        .iter()
-        .filter(|r| r.cores_error.abs() <= 2 && r.ways_error.abs() <= 2)
-        .count() as f64
-        / n;
-    println!("OAA MAE: {mae_c:.2} cores, {mae_w:.2} ways; within +/-2 of truth: {:.0}%", within2 * 100.0);
+    let within2 =
+        rows.iter().filter(|r| r.cores_error.abs() <= 2 && r.ways_error.abs() <= 2).count() as f64
+            / n;
+    println!(
+        "OAA MAE: {mae_c:.2} cores, {mae_w:.2} ways; within +/-2 of truth: {:.0}%",
+        within2 * 100.0
+    );
 
     // Model-B' spot check: pricing a known deprivation for Moses.
     let grid = LatencyGrid::sweep(&topo, Service::Moses, 16, 2400.0);
@@ -94,7 +92,7 @@ fn main() {
                 oaa.cores.saturating_sub(dc).max(1),
                 oaa.ways.saturating_sub(dw).max(1),
             );
-            let truth = (grid.p95(truth_p) / grid.p95(oaa) - 1.0).max(0.0).min(2.0);
+            let truth = (grid.p95(truth_p) / grid.p95(oaa) - 1.0).clamp(0.0, 2.0);
             let pred = model_bp.predict(&sample, dc, dw);
             println!(
                 "model-b' moses deprive ({dc},{dw}): predicted slowdown {pred:.3}, ground truth {truth:.3}"

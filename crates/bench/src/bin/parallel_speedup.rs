@@ -1,0 +1,115 @@
+//! Wall-clock of the pipeline's expensive stages, sequential (`jobs = 1`)
+//! vs parallel (`OSML_JOBS` or the machine), recorded to
+//! `results/parallel_speedup.json`. Each stage is also checked bit-identical
+//! across the two runs — the parallel layer's core guarantee.
+
+use osml_baselines::Unmanaged;
+use osml_bench::grid::colocation_grid_jobs;
+use osml_bench::report::{render_table, save_json};
+use osml_dataset::{model_a_corpus, SweepConfig, TrainedModels, TrainingConfig};
+use osml_ml::TrainerConfig;
+use osml_workloads::Service;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Debug, Serialize)]
+struct StageTiming {
+    stage: String,
+    sequential_secs: f64,
+    parallel_secs: f64,
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct SpeedupReport {
+    jobs: usize,
+    stages: Vec<StageTiming>,
+}
+
+/// Times `run` at `jobs = 1` and `jobs = n`, asserting identical output.
+fn time_stage<T: PartialEq>(
+    stage: &str,
+    jobs: usize,
+    mut run: impl FnMut(usize) -> T,
+) -> StageTiming {
+    let start = Instant::now();
+    let sequential = run(1);
+    let sequential_secs = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let parallel = run(jobs);
+    let parallel_secs = start.elapsed().as_secs_f64();
+    assert!(sequential == parallel, "stage {stage} diverged between job counts");
+    StageTiming {
+        stage: stage.to_owned(),
+        sequential_secs,
+        parallel_secs,
+        speedup: sequential_secs / parallel_secs.max(1e-9),
+    }
+}
+
+fn main() {
+    let jobs = osml_ml::par::jobs_from_env().max(2);
+    let mut stages = Vec::new();
+
+    let steps = [20usize, 50, 80];
+    stages.push(time_stage("colocation_grid_3x3", jobs, |j| {
+        colocation_grid_jobs(
+            j,
+            "unmanaged",
+            Unmanaged::new,
+            Service::ImgDnn,
+            Service::Xapian,
+            Service::Moses,
+            &[],
+            &steps,
+            20,
+        )
+        .cells
+    }));
+
+    stages.push(time_stage("model_a_corpus_standard", jobs, |j| {
+        model_a_corpus(&SweepConfig { jobs: Some(j), ..SweepConfig::default() })
+    }));
+
+    stages.push(time_stage("train_suite_quick", jobs, |j| {
+        let cfg = TrainingConfig {
+            sweep: SweepConfig {
+                jobs: Some(j),
+                services: vec![Service::Moses, Service::Xapian],
+                ..SweepConfig::default()
+            },
+            trainer: TrainerConfig { epochs: 30, batch_size: 256, ..TrainerConfig::default() },
+            dqn_steps: 100,
+            seed: 0x05_11,
+        };
+        let trained = TrainedModels::train(&cfg);
+        // Compare through the reports (models have no PartialEq; the
+        // training losses pin the numerics just as tightly).
+        (
+            trained.report_a.epoch_losses,
+            trained.report_b.epoch_losses,
+            trained.report_b_prime.epoch_losses,
+        )
+    }));
+
+    let rows: Vec<Vec<String>> = stages
+        .iter()
+        .map(|s| {
+            vec![
+                s.stage.clone(),
+                format!("{:.2}", s.sequential_secs),
+                format!("{:.2}", s.parallel_secs),
+                format!("{:.2}x", s.speedup),
+            ]
+        })
+        .collect();
+    println!("parallel speedup at {jobs} jobs (bit-identical outputs):");
+    println!(
+        "{}",
+        render_table(&["stage", "jobs=1 (s)", &format!("jobs={jobs} (s)"), "speedup"], &rows)
+    );
+
+    let report = SpeedupReport { jobs, stages };
+    let path = save_json("parallel_speedup", &report);
+    println!("wrote {}", path.display());
+}

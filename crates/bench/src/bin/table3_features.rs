@@ -26,18 +26,12 @@ fn main() {
         .iter()
         .zip(descriptions.iter())
         .zip(used_in.iter())
-        .map(|((name, desc), used)| vec![(*name).to_owned(), (*desc).to_owned(), (*used).to_owned()])
+        .map(|((name, desc), used)| {
+            vec![(*name).to_owned(), (*desc).to_owned(), (*used).to_owned()]
+        })
         .collect();
-    rows.push(vec![
-        "QoS Slowdown".into(),
-        "Percentage of QoS slowdown".into(),
-        "B".into(),
-    ]);
-    rows.push(vec![
-        "Resp. Latency".into(),
-        "Average latency of a microservice".into(),
-        "C".into(),
-    ]);
+    rows.push(vec!["QoS Slowdown".into(), "Percentage of QoS slowdown".into(), "B".into()]);
+    rows.push(vec!["Resp. Latency".into(), "Average latency of a microservice".into(), "C".into()]);
     println!("{}", report::render_table(&["Feature", "Description", "Used in Model"], &rows));
     let path = report::save_json("table3_features", &rows);
     println!("saved {}", path.display());

@@ -52,9 +52,15 @@ impl ColocationGrid {
 /// Builds one policy's grid by running full scenarios. `make_scheduler` is
 /// called per attempt so each cell starts from fresh scheduler state (models
 /// are cloned, not retrained).
+///
+/// Cells are evaluated in parallel on [`osml_ml::par::jobs_from_env`]
+/// worker threads. Every cell seeds its simulation from its own `(x, y,
+/// probe)` coordinates, so the grid is bit-identical for any job count; see
+/// [`colocation_grid_jobs`] for an explicit count.
+#[allow(clippy::too_many_arguments)]
 pub fn colocation_grid<Sched: Scheduler>(
     policy: &str,
-    mut make_scheduler: impl FnMut() -> Sched,
+    make_scheduler: impl Fn() -> Sched + Sync,
     x_service: Service,
     y_service: Service,
     probe: Service,
@@ -62,24 +68,49 @@ pub fn colocation_grid<Sched: Scheduler>(
     steps: &[usize],
     settle_ticks: usize,
 ) -> ColocationGrid {
-    let mut cells = Vec::with_capacity(steps.len());
-    for &y in steps {
-        let mut row = Vec::with_capacity(steps.len());
-        for &x in steps {
-            row.push(max_probe_load(
-                &mut make_scheduler,
-                x_service,
-                y_service,
-                probe,
-                background,
-                x,
-                y,
-                steps,
-                settle_ticks,
-            ));
-        }
-        cells.push(row);
-    }
+    colocation_grid_jobs(
+        osml_ml::par::jobs_from_env(),
+        policy,
+        make_scheduler,
+        x_service,
+        y_service,
+        probe,
+        background,
+        steps,
+        settle_ticks,
+    )
+}
+
+/// [`colocation_grid`] with an explicit worker count (`jobs = 1` runs the
+/// cells sequentially on the calling thread).
+#[allow(clippy::too_many_arguments)]
+pub fn colocation_grid_jobs<Sched: Scheduler>(
+    jobs: usize,
+    policy: &str,
+    make_scheduler: impl Fn() -> Sched + Sync,
+    x_service: Service,
+    y_service: Service,
+    probe: Service,
+    background: &[(Service, f64)],
+    steps: &[usize],
+    settle_ticks: usize,
+) -> ColocationGrid {
+    let coords: Vec<(usize, usize)> =
+        steps.iter().flat_map(|&y| steps.iter().map(move |&x| (x, y))).collect();
+    let flat = osml_ml::par::parallel_map_jobs(jobs, &coords, |&(x, y)| {
+        max_probe_load(
+            &make_scheduler,
+            x_service,
+            y_service,
+            probe,
+            background,
+            x,
+            y,
+            steps,
+            settle_ticks,
+        )
+    });
+    let cells = flat.chunks(steps.len()).map(<[usize]>::to_vec).collect();
     ColocationGrid {
         policy: policy.to_owned(),
         x_service,
@@ -93,7 +124,7 @@ pub fn colocation_grid<Sched: Scheduler>(
 
 #[allow(clippy::too_many_arguments)]
 fn max_probe_load<Sched: Scheduler>(
-    make_scheduler: &mut impl FnMut() -> Sched,
+    make_scheduler: &impl Fn() -> Sched,
     x_service: Service,
     y_service: Service,
     probe: Service,
@@ -122,6 +153,11 @@ fn max_probe_load<Sched: Scheduler>(
 }
 
 /// The Oracle's grid: feasibility by exhaustive static-partition search.
+///
+/// Cells are evaluated in parallel ([`osml_ml::par::jobs_from_env`]
+/// workers); the Oracle is deterministic per query, so the grid is
+/// bit-identical for any job count. See [`oracle_grid_jobs`] for an
+/// explicit count.
 pub fn oracle_grid(
     x_service: Service,
     y_service: Service,
@@ -129,39 +165,54 @@ pub fn oracle_grid(
     background: &[(Service, f64)],
     steps: &[usize],
 ) -> ColocationGrid {
+    oracle_grid_jobs(osml_ml::par::jobs_from_env(), x_service, y_service, probe, background, steps)
+}
+
+/// [`oracle_grid`] with an explicit worker count (`jobs = 1` runs the cells
+/// sequentially on the calling thread).
+pub fn oracle_grid_jobs(
+    jobs: usize,
+    x_service: Service,
+    y_service: Service,
+    probe: Service,
+    background: &[(Service, f64)],
+    steps: &[usize],
+) -> ColocationGrid {
     let oracle = Oracle::new();
-    let mut cells = Vec::with_capacity(steps.len());
-    for &y in steps {
-        let mut row = Vec::with_capacity(steps.len());
-        for &x in steps {
-            // Feasibility is monotone in the probe load, so binary-search
-            // the step list instead of scanning (the exhaustive search is
-            // the expensive part of the Oracle panel).
-            let feasible = |probe_pct: usize| -> bool {
-                let mut specs = vec![
-                    LaunchSpec::at_percent_load(x_service, x as f64),
-                    LaunchSpec::at_percent_load(y_service, y as f64),
-                ];
-                for &(svc, pct) in background {
-                    specs.push(LaunchSpec::at_percent_load(svc, pct));
-                }
-                specs.push(LaunchSpec::at_percent_load(probe, probe_pct as f64));
-                oracle.best_partition(&specs).is_some()
-            };
-            let mut lo = 0usize; // index of highest known-feasible step (+1)
-            let mut hi = steps.len(); // index of lowest known-infeasible step
-            while lo < hi {
-                let mid = (lo + hi) / 2;
-                if feasible(steps[mid]) {
-                    lo = mid + 1;
-                } else {
-                    hi = mid;
-                }
+    let coords: Vec<(usize, usize)> =
+        steps.iter().flat_map(|&y| steps.iter().map(move |&x| (x, y))).collect();
+    let flat = osml_ml::par::parallel_map_jobs(jobs, &coords, |&(x, y)| {
+        // Feasibility is monotone in the probe load, so binary-search
+        // the step list instead of scanning (the exhaustive search is
+        // the expensive part of the Oracle panel).
+        let feasible = |probe_pct: usize| -> bool {
+            let mut specs = vec![
+                LaunchSpec::at_percent_load(x_service, x as f64),
+                LaunchSpec::at_percent_load(y_service, y as f64),
+            ];
+            for &(svc, pct) in background {
+                specs.push(LaunchSpec::at_percent_load(svc, pct));
             }
-            row.push(if lo == 0 { 0 } else { steps[lo - 1] });
+            specs.push(LaunchSpec::at_percent_load(probe, probe_pct as f64));
+            oracle.best_partition(&specs).is_some()
+        };
+        let mut lo = 0usize; // index of highest known-feasible step (+1)
+        let mut hi = steps.len(); // index of lowest known-infeasible step
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if feasible(steps[mid]) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
         }
-        cells.push(row);
-    }
+        if lo == 0 {
+            0
+        } else {
+            steps[lo - 1]
+        }
+    });
+    let cells = flat.chunks(steps.len()).map(<[usize]>::to_vec).collect();
     ColocationGrid {
         policy: "oracle".to_owned(),
         x_service,

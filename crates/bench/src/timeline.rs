@@ -71,7 +71,9 @@ pub fn run_timeline<Sched: Scheduler>(
         }
         // Arrivals.
         for (idx, event) in script.events.iter().enumerate() {
-            if !live.contains_key(&idx) && t >= event.arrive_s && t < event.depart_s
+            if !live.contains_key(&idx)
+                && t >= event.arrive_s
+                && t < event.depart_s
                 && !migrated.contains(&event.service)
             {
                 let spec = LaunchSpec {
@@ -110,8 +112,7 @@ pub fn run_timeline<Sched: Scheduler>(
         // PARTIES in the paper's Fig. 14).
         let mut to_migrate: Vec<usize> = Vec::new();
         for (&idx, &id) in &live {
-            let violating =
-                server.latency(id).map(|l| l.violates_qos()).unwrap_or(false);
+            let violating = server.latency(id).map(|l| l.violates_qos()).unwrap_or(false);
             if violating {
                 let since = *violating_since.entry(id).or_insert(t);
                 if t - since > 30.0 {
@@ -241,9 +242,7 @@ mod tests {
         let at = |t: f64| -> usize {
             records
                 .iter()
-                .min_by(|a, b| {
-                    (a.time_s - t).abs().total_cmp(&(b.time_s - t).abs())
-                })
+                .min_by(|a, b| (a.time_s - t).abs().total_cmp(&(b.time_s - t).abs()))
                 .map(|r| r.services.len())
                 .unwrap()
         };

@@ -1,0 +1,57 @@
+//! Pins the parallel execution layer's core guarantee: grids computed with
+//! one worker are bit-identical to grids computed with several, because
+//! every cell derives its simulation seed from its own coordinates.
+
+use osml_baselines::{Parties, Unmanaged};
+use osml_bench::grid::{colocation_grid_jobs, oracle_grid_jobs};
+use osml_workloads::Service;
+
+const STEPS: [usize; 2] = [20, 60];
+
+#[test]
+fn colocation_grid_is_bit_identical_across_job_counts() {
+    let run = |jobs: usize| {
+        colocation_grid_jobs(
+            jobs,
+            "unmanaged",
+            Unmanaged::new,
+            Service::ImgDnn,
+            Service::Xapian,
+            Service::Moses,
+            &[],
+            &STEPS,
+            10,
+        )
+    };
+    let sequential = run(1);
+    let parallel = run(4);
+    assert_eq!(sequential.cells, parallel.cells);
+    assert_eq!(sequential.steps, parallel.steps);
+}
+
+#[test]
+fn managed_policy_grid_is_bit_identical_across_job_counts() {
+    // A managed policy exercises scheduler state built per cell.
+    let run = |jobs: usize| {
+        colocation_grid_jobs(
+            jobs,
+            "parties",
+            Parties::new,
+            Service::ImgDnn,
+            Service::Xapian,
+            Service::Moses,
+            &[],
+            &STEPS,
+            10,
+        )
+    };
+    assert_eq!(run(1).cells, run(4).cells);
+}
+
+#[test]
+fn oracle_grid_is_bit_identical_across_job_counts() {
+    let run = |jobs: usize| {
+        oracle_grid_jobs(jobs, Service::ImgDnn, Service::Xapian, Service::Moses, &[], &STEPS)
+    };
+    assert_eq!(run(1).cells, run(4).cells);
+}

@@ -81,8 +81,7 @@ impl Cluster {
                 SimServer::new(SimConfig { seed: seed ^ (i as u64) << 32, ..SimConfig::default() })
             })
             .collect();
-        let schedulers =
-            (0..n).map(|_| scheduler.clone().with_config(config.clone())).collect();
+        let schedulers = (0..n).map(|_| scheduler.clone().with_config(config.clone())).collect();
         Cluster {
             nodes,
             schedulers,
@@ -196,10 +195,8 @@ impl Cluster {
         for (idx, tracked) in self.services.iter_mut().enumerate() {
             let node = &self.nodes[tracked.handle.node];
             let now = node.now();
-            let violating = node
-                .latency(tracked.handle.app)
-                .map(|l| l.violates_qos())
-                .unwrap_or(false);
+            let violating =
+                node.latency(tracked.handle.app).map(|l| l.violates_qos()).unwrap_or(false);
             if violating {
                 let since = *tracked.violating_since.get_or_insert(now);
                 if now - since > self.migration_patience_s {
@@ -245,11 +242,7 @@ impl Cluster {
 
     /// Which services run on `node`.
     pub fn services_on(&self, node: usize) -> Vec<Service> {
-        self.services
-            .iter()
-            .filter(|t| t.handle.node == node)
-            .map(|t| t.spec.service)
-            .collect()
+        self.services.iter().filter(|t| t.handle.node == node).map(|t| t.spec.service).collect()
     }
 }
 

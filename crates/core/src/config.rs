@@ -61,7 +61,10 @@ mod tests {
     fn defaults_follow_the_paper() {
         let c = OsmlConfig::default();
         assert_eq!(c.sampling_window_s, 2.0);
-        assert!(c.deprive_slowdown_budget > 0.0 && c.sharing_slowdown_budget > c.deprive_slowdown_budget);
+        assert!(
+            c.deprive_slowdown_budget > 0.0
+                && c.sharing_slowdown_budget > c.deprive_slowdown_budget
+        );
         assert_eq!(c.max_deprived_apps, 3);
         assert_eq!(c.surplus_margin, 2);
         assert!(c.manage_bandwidth);
@@ -71,8 +74,7 @@ mod tests {
     #[test]
     fn config_round_trips_through_serde() {
         let c = OsmlConfig { sampling_window_s: 1.0, ..OsmlConfig::default() };
-        let back: OsmlConfig =
-            serde_json::from_str(&serde_json::to_string(&c).unwrap()).unwrap();
+        let back: OsmlConfig = serde_json::from_str(&serde_json::to_string(&c).unwrap()).unwrap();
         assert_eq!(back, c);
     }
 }

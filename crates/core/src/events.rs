@@ -128,8 +128,7 @@ mod tests {
     fn log_serializes() {
         let mut log = EventLog::new();
         log.push(0.5, None, EventKind::BandwidthRepartitioned);
-        let back: EventLog =
-            serde_json::from_str(&serde_json::to_string(&log).unwrap()).unwrap();
+        let back: EventLog = serde_json::from_str(&serde_json::to_string(&log).unwrap()).unwrap();
         assert_eq!(back, log);
     }
 }

@@ -39,13 +39,11 @@ pub fn repack_ways_with_last<S: Substrate>(
     let apps = server.apps();
     // Build overlap groups (connected components of mask overlap). Masks
     // are contiguous, so a component occupies a contiguous span.
-    let masks: Vec<(AppId, WayMask)> = apps
-        .iter()
-        .filter_map(|&id| server.allocation(id).map(|a| (id, a.ways)))
-        .collect();
+    let masks: Vec<(AppId, WayMask)> =
+        apps.iter().filter_map(|&id| server.allocation(id).map(|a| (id, a.ways))).collect();
     let mut group_of: Vec<usize> = (0..masks.len()).collect();
     // Union-find (tiny n: path compression unnecessary but cheap).
-    fn find(g: &mut Vec<usize>, i: usize) -> usize {
+    fn find(g: &mut [usize], i: usize) -> usize {
         let mut r = i;
         while g[r] != r {
             r = g[r];
@@ -81,9 +79,8 @@ pub fn repack_ways_with_last<S: Substrate>(
     // Order groups by current start; move `last`'s group to the end.
     groups.sort_by_key(|&(start, _, _)| start);
     if let Some(last_id) = last {
-        if let Some(pos) = groups
-            .iter()
-            .position(|(_, _, members)| members.iter().any(|&m| masks[m].0 == last_id))
+        if let Some(pos) =
+            groups.iter().position(|(_, _, members)| members.iter().any(|&m| masks[m].0 == last_id))
         {
             let g = groups.remove(pos);
             groups.push(g);

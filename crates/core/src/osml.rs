@@ -326,11 +326,7 @@ impl OsmlScheduler {
             // Line 11: only victims that "can tolerate a certain QoS
             // slowdown" — a service already violating (or with no slack)
             // has nothing to give.
-            if server
-                .latency(victim)
-                .map(|l| l.qos_slack() < 0.05)
-                .unwrap_or(true)
-            {
+            if server.latency(victim).map(|l| l.qos_slack() < 0.05).unwrap_or(true) {
                 continue;
             }
             let Some(vs) = server.sample(victim) else { continue };
@@ -355,8 +351,7 @@ impl OsmlScheduler {
             // the model — a service at half its latency budget can afford a
             // 15 % slowdown regardless of what the learned surface says
             // (deprivations are withdrawn on the next sample if wrong).
-            let wide_slack =
-                server.latency(victim).map(|l| l.qos_slack() > 0.4).unwrap_or(false);
+            let wide_slack = server.latency(victim).map(|l| l.qos_slack() > 0.4).unwrap_or(false);
             // A victim meeting QoS at its current holding proves its true
             // cliff lies below it; a predicted floor above the holding is
             // stale. With wide slack, allow at least one unit per dimension.
@@ -379,8 +374,8 @@ impl OsmlScheduler {
                     {
                         if dc >= dw && dc > 0 {
                             dc -= 1;
-                        } else if dw > 0 {
-                            dw -= 1;
+                        } else {
+                            dw = dw.saturating_sub(1);
                         }
                     }
                     (dc, dw)
@@ -403,10 +398,8 @@ impl OsmlScheduler {
             let Some(vsample) = server.sample(victim) else { continue };
             let mut alloc = old;
             let keep = old.cores.count() - dc;
-            alloc.cores = old
-                .cores
-                .pick_spread(server.topology(), keep)
-                .expect("keep <= current count");
+            alloc.cores =
+                old.cores.pick_spread(server.topology(), keep).expect("keep <= current count");
             alloc.ways = old.ways.resized(-(dw as i32), server.topology().llc_ways());
             if self.apply(server, victim, alloc) {
                 self.log.push(
@@ -439,8 +432,7 @@ impl OsmlScheduler {
     fn algorithm_2<S: Substrate>(&mut self, server: &mut S, id: AppId, sample: CounterSample) {
         let Some(alloc) = server.allocation(id) else { return };
         let idle_cores = server.idle_cores().count() + alloc.cores.count();
-        let free_ways =
-            free_way_run_after_repack(server, Some(id)).max(alloc.ways.count());
+        let free_ways = free_way_run_after_repack(server, Some(id)).max(alloc.ways.count());
 
         // Line 4: Model-C selects an action; under a violation only growth
         // actions are eligible, and only ones the machine can actually
@@ -457,15 +449,14 @@ impl OsmlScheduler {
             }
             let cores_ok = a.dcores == 0 || alloc.cores.count() + a.dcores as usize <= idle_cores;
             let ways_ok = a.dways == 0
-                || (alloc.ways.count() + a.dways as usize)
-                    .min(server.topology().llc_ways())
+                || (alloc.ways.count() + a.dways as usize).min(server.topology().llc_ways())
                     <= free_ways;
             cores_ok && ways_ok
         };
         if let Some(action) = self.models.model_c.best_action_where(&sample, achievable) {
             let want_cores = alloc.cores.count() + action.dcores as usize;
-            let want_ways = (alloc.ways.count() + action.dways as usize)
-                .min(server.topology().llc_ways());
+            let want_ways =
+                (alloc.ways.count() + action.dways as usize).min(server.topology().llc_ways());
             if self.try_allocate_dedicated(server, id, want_cores, want_ways) {
                 self.log.push(
                     server.now(),
@@ -534,11 +525,7 @@ impl OsmlScheduler {
         // resource sharing in exceptional cases"): require the violation to
         // have persisted before crossing the RCliff into a neighbour's
         // allocation.
-        let persistent = self
-            .records
-            .get(&id)
-            .map(|r| r.violation_ticks >= 2)
-            .unwrap_or(false);
+        let persistent = self.records.get(&id).map(|r| r.violation_ticks >= 2).unwrap_or(false);
         if !persistent {
             return;
         }
@@ -610,8 +597,7 @@ impl OsmlScheduler {
         let new_cores = ((alloc.cores.count() as i32 + action.dcores).max(cliff.cores as i32)
             as usize)
             .min(alloc.cores.count());
-        let new_ways = ((alloc.ways.count() as i32 + action.dways).max(cliff.ways as i32)
-            as usize)
+        let new_ways = ((alloc.ways.count() as i32 + action.dways).max(cliff.ways as i32) as usize)
             .min(alloc.ways.count());
         if new_cores == alloc.cores.count() && new_ways == alloc.ways.count() {
             return;
@@ -630,12 +616,8 @@ impl OsmlScheduler {
                 EventKind::Reclaimed { dcores: action.dcores, dways: action.dways },
             );
             if let Some(rec) = self.records.get_mut(&id) {
-                rec.pending = Some(Pending {
-                    before: sample,
-                    action,
-                    kind: PendingKind::Reclaim,
-                    rollback,
-                });
+                rec.pending =
+                    Some(Pending { before: sample, action, kind: PendingKind::Reclaim, rollback });
             }
         }
     }
@@ -651,7 +633,7 @@ impl OsmlScheduler {
         need_cores: usize,
         need_ways: usize,
     ) -> Placement {
-        if self.records.get(&id).is_none() {
+        if !self.records.contains_key(&id) {
             return Placement::Rejected;
         }
         let Some(alloc) = server.allocation(id) else { return Placement::Rejected };
@@ -673,10 +655,8 @@ impl OsmlScheduler {
         }
         // Sharing is a last-resort nudge, not a rescue for a deeply
         // overloaded service (those need migration), and never a landgrab.
-        let deep_overload = server
-            .latency(id)
-            .map(|l| l.p95_ms > 10.0 * l.qos_target_ms)
-            .unwrap_or(false);
+        let deep_overload =
+            server.latency(id).map(|l| l.p95_ms > 10.0 * l.qos_target_ms).unwrap_or(false);
         if need_ways > 6 || deep_overload {
             return Placement::Rejected;
         }
@@ -714,11 +694,8 @@ impl OsmlScheduler {
                 let _ = repack_ways_with_last(server, Some(neighbor));
                 let nalloc = server.allocation(neighbor).expect("neighbor is placed");
                 let overlap_first = nalloc.ways.first();
-                let own_ways = alloc
-                    .ways
-                    .count()
-                    .max(target.ways.saturating_sub(need_ways))
-                    .min(target.ways);
+                let own_ways =
+                    alloc.ways.count().max(target.ways.saturating_sub(need_ways)).min(target.ways);
                 let start = overlap_first.saturating_sub(own_ways);
                 let len = (own_ways + need_ways)
                     .min(target.ways + need_ways)
@@ -735,11 +712,7 @@ impl OsmlScheduler {
                     self.log.push(
                         server.now(),
                         Some(id),
-                        EventKind::SharingEnabled {
-                            neighbor,
-                            cores: need_cores,
-                            ways: need_ways,
-                        },
+                        EventKind::SharingEnabled { neighbor, cores: need_cores, ways: need_ways },
                     );
                     self.repartition_bandwidth(server);
                     return Placement::Placed;
@@ -766,8 +739,7 @@ impl OsmlScheduler {
         if self.config.online_learning {
             self.models.model_c.train_step();
         }
-        let violated =
-            server.latency(id).map(|l| guarded_violation(&l)).unwrap_or(false);
+        let violated = server.latency(id).map(|l| guarded_violation(&l)).unwrap_or(false);
         match pending.kind {
             PendingKind::Reclaim => {
                 if violated && self.apply(server, id, pending.rollback) {
@@ -862,6 +834,9 @@ impl Scheduler for OsmlScheduler {
     }
 }
 
+/// One victim's accepted offer in a sharing combo: `(victim, (cores, ways))`.
+type ComboShare = (AppId, (usize, usize));
+
 /// Best-fit subset search (Algorithm 1, line 17): choose ≤ `max_apps`
 /// victims and one B-point each so the summed offer covers
 /// `(need_cores, need_ways)`, minimizing victim count then total
@@ -871,12 +846,12 @@ fn best_fit_combo(
     need_cores: usize,
     need_ways: usize,
     max_apps: usize,
-) -> Option<Vec<(AppId, (usize, usize))>> {
-    let mut best: Option<(usize, usize, Vec<(AppId, (usize, usize))>)> = None;
+) -> Option<Vec<ComboShare>> {
+    let mut best: Option<(usize, usize, Vec<ComboShare>)> = None;
     let n = offers.len();
     // Enumerate subsets of size 1..=max_apps (n is small: co-located
     // services number in the single digits).
-    let mut consider = |combo: &[(AppId, (usize, usize))]| {
+    let mut consider = |combo: &[ComboShare]| {
         let got_c: usize = combo.iter().map(|(_, (c, _))| c).sum();
         let got_w: usize = combo.iter().map(|(_, (_, w))| w).sum();
         if got_c >= need_cores && got_w >= need_ways {
@@ -887,13 +862,13 @@ fn best_fit_combo(
             }
         }
     };
-    let mut stack: Vec<(AppId, (usize, usize))> = Vec::new();
+    let mut stack: Vec<ComboShare> = Vec::new();
     fn recurse(
         offers: &[(AppId, Vec<(usize, usize)>)],
         start: usize,
         max_apps: usize,
-        stack: &mut Vec<(AppId, (usize, usize))>,
-        consider: &mut impl FnMut(&[(AppId, (usize, usize))]),
+        stack: &mut Vec<ComboShare>,
+        consider: &mut impl FnMut(&[ComboShare]),
     ) {
         if !stack.is_empty() {
             consider(stack);
@@ -953,11 +928,7 @@ mod tests {
         assert_eq!(sched.on_arrival(&mut server, id), Placement::Placed);
         assert!(sched.prediction(id).is_some());
         assert!(sched.action_count() >= 1);
-        assert!(sched
-            .log()
-            .entries()
-            .iter()
-            .any(|e| matches!(e.kind, EventKind::Profiled { .. })));
+        assert!(sched.log().entries().iter().any(|e| matches!(e.kind, EventKind::Profiled { .. })));
         // Sampling window advanced the clock.
         assert!(server.now() >= 3.0 - 1e-9);
     }
@@ -1001,10 +972,8 @@ mod tests {
 
     #[test]
     fn with_config_replaces_tunables() {
-        let sched = raw().with_config(OsmlConfig {
-            sampling_window_s: 0.5,
-            ..OsmlConfig::default()
-        });
+        let sched =
+            raw().with_config(OsmlConfig { sampling_window_s: 0.5, ..OsmlConfig::default() });
         // Observable through arrival behaviour: a 0.5 s window advances the
         // clock by 0.5 s instead of 2 s.
         let mut sched = sched;
@@ -1016,11 +985,7 @@ mod tests {
 
     #[test]
     fn best_fit_prefers_fewer_victims() {
-        let offers = [
-            offer(1, &[(2, 2)]),
-            offer(2, &[(2, 2)]),
-            offer(3, &[(4, 4)]),
-        ];
+        let offers = [offer(1, &[(2, 2)]), offer(2, &[(2, 2)]), offer(3, &[(4, 4)])];
         let combo = best_fit_combo(&offers, 3, 3, 3).unwrap();
         assert_eq!(combo.len(), 1);
         assert_eq!(combo[0].0, AppId(3));
@@ -1036,12 +1001,8 @@ mod tests {
 
     #[test]
     fn best_fit_combines_up_to_three() {
-        let offers = [
-            offer(1, &[(2, 0)]),
-            offer(2, &[(2, 1)]),
-            offer(3, &[(2, 2)]),
-            offer(4, &[(1, 0)]),
-        ];
+        let offers =
+            [offer(1, &[(2, 0)]), offer(2, &[(2, 1)]), offer(3, &[(2, 2)]), offer(4, &[(1, 0)])];
         let combo = best_fit_combo(&offers, 6, 3, 3).unwrap();
         assert_eq!(combo.len(), 3);
         let c: usize = combo.iter().map(|(_, (c, _))| c).sum();
@@ -1051,12 +1012,8 @@ mod tests {
 
     #[test]
     fn best_fit_respects_app_cap() {
-        let offers = [
-            offer(1, &[(1, 1)]),
-            offer(2, &[(1, 1)]),
-            offer(3, &[(1, 1)]),
-            offer(4, &[(1, 1)]),
-        ];
+        let offers =
+            [offer(1, &[(1, 1)]), offer(2, &[(1, 1)]), offer(3, &[(1, 1)]), offer(4, &[(1, 1)])];
         // Needs all four, but only three may be involved.
         assert!(best_fit_combo(&offers, 4, 4, 3).is_none());
         assert!(best_fit_combo(&offers, 3, 3, 3).is_some());

@@ -36,6 +36,10 @@ pub struct SweepConfig {
     pub noise_sigma: f64,
     /// Base seed.
     pub seed: u64,
+    /// Worker threads for the sweep; `None` defers to `OSML_JOBS` (and then
+    /// the machine). Any value yields bit-identical corpora: every load
+    /// point derives its seed from its own coordinates.
+    pub jobs: Option<usize>,
 }
 
 impl Default for SweepConfig {
@@ -49,6 +53,7 @@ impl Default for SweepConfig {
             extra_load_fractions: vec![0.15, 0.3, 0.5],
             noise_sigma: 0.01,
             seed: 0x0a11,
+            jobs: None,
         }
     }
 }
@@ -67,6 +72,7 @@ impl SweepConfig {
             extra_load_fractions: vec![0.1, 0.2, 0.3, 0.4, 0.5],
             noise_sigma: 0.01,
             seed: 0x0a11,
+            jobs: None,
         }
     }
 
@@ -81,6 +87,7 @@ impl SweepConfig {
             extra_load_fractions: vec![],
             noise_sigma: 0.0,
             seed: 0x7e57,
+            jobs: None,
         }
     }
 
@@ -90,6 +97,13 @@ impl SweepConfig {
 
     fn ways_swept(&self, topo: &Topology) -> Vec<usize> {
         (1..=topo.llc_ways()).step_by(self.way_step.max(1)).collect()
+    }
+
+    /// The worker-thread count this sweep will actually use: the explicit
+    /// [`jobs`](SweepConfig::jobs) override if set, else
+    /// [`osml_ml::par::jobs_from_env`].
+    pub fn effective_jobs(&self) -> usize {
+        self.jobs.unwrap_or_else(osml_ml::par::jobs_from_env)
     }
 
     /// The `(service, offered_rps)` pairs this sweep covers.
@@ -167,25 +181,26 @@ pub fn model_a_corpus(cfg: &SweepConfig) -> Corpus {
         .flat_map(|(s, rps)| cfg.thread_counts.iter().map(move |&t| (s, rps, t)))
         .collect();
 
-    let results: Vec<Vec<(Vec<f32>, Vec<f32>)>> = parallel_map(&jobs, |&(service, rps, threads)| {
-        let grid = LatencyGrid::sweep(&topo, service, threads, rps);
-        let (Some(oaa), Some(cliff), Some(bw)) =
-            (grid.oaa(), grid.rcliff(), grid.oaa_bandwidth_gbps())
-        else {
-            return Vec::new();
-        };
-        let label = ModelA::encode_label(oaa, bw, cliff).to_vec();
-        let seed = cfg.seed ^ (service as u64) << 8 ^ threads as u64 ^ (rps as u64) << 16;
-        let mut probe = FeatureProbe::new(service, threads, rps, cfg.noise_sigma, seed);
-        let mut rows = Vec::with_capacity(cores.len() * ways.len());
-        for &c in &cores {
-            for &w in &ways {
-                let sample = probe.sample_at(c, w);
-                rows.push((features::model_a_input(&sample), label.clone()));
+    let results: Vec<Vec<(Vec<f32>, Vec<f32>)>> =
+        sweep_map(cfg, &jobs, |&(service, rps, threads)| {
+            let grid = LatencyGrid::sweep(&topo, service, threads, rps);
+            let (Some(oaa), Some(cliff), Some(bw)) =
+                (grid.oaa(), grid.rcliff(), grid.oaa_bandwidth_gbps())
+            else {
+                return Vec::new();
+            };
+            let label = ModelA::encode_label(oaa, bw, cliff).to_vec();
+            let seed = cfg.seed ^ (service as u64) << 8 ^ threads as u64 ^ (rps as u64) << 16;
+            let mut probe = FeatureProbe::new(service, threads, rps, cfg.noise_sigma, seed);
+            let mut rows = Vec::with_capacity(cores.len() * ways.len());
+            for &c in &cores {
+                for &w in &ways {
+                    let sample = probe.sample_at(c, w);
+                    rows.push((features::model_a_input(&sample), label.clone()));
+                }
             }
-        }
-        rows
-    });
+            rows
+        });
     for rows in results {
         for (f, l) in rows {
             features_rows.push(f);
@@ -211,7 +226,7 @@ const BASE_OFFSETS: [(usize, usize); 4] = [(0, 0), (2, 1), (4, 2), (6, 4)];
 pub fn model_b_corpus(cfg: &SweepConfig) -> Corpus {
     let topo = Topology::xeon_e5_2697_v4();
     let jobs = cfg.load_points();
-    let results: Vec<Vec<(Vec<f32>, Vec<f32>)>> = parallel_map(&jobs, |&(service, rps)| {
+    let results: Vec<Vec<(Vec<f32>, Vec<f32>)>> = sweep_map(cfg, &jobs, |&(service, rps)| {
         let threads = service.params().default_threads;
         let grid = LatencyGrid::sweep(&topo, service, threads, rps);
         let Some(oaa) = grid.oaa() else { return Vec::new() };
@@ -250,7 +265,7 @@ pub fn model_b_corpus(cfg: &SweepConfig) -> Corpus {
 pub fn model_b_prime_corpus(cfg: &SweepConfig) -> Corpus {
     let topo = Topology::xeon_e5_2697_v4();
     let jobs = cfg.load_points();
-    let results: Vec<Vec<(Vec<f32>, Vec<f32>)>> = parallel_map(&jobs, |&(service, rps)| {
+    let results: Vec<Vec<(Vec<f32>, Vec<f32>)>> = sweep_map(cfg, &jobs, |&(service, rps)| {
         let threads = service.params().default_threads;
         let grid = LatencyGrid::sweep(&topo, service, threads, rps);
         let Some(oaa) = grid.oaa() else { return Vec::new() };
@@ -300,7 +315,7 @@ pub fn model_c_transitions(cfg: &SweepConfig) -> Vec<CTransition> {
     let max_cores = topo.logical_cores() as i32;
     let max_ways = topo.llc_ways() as i32;
     let jobs = cfg.load_points();
-    let results: Vec<Vec<CTransition>> = parallel_map(&jobs, |&(service, rps)| {
+    let results: Vec<Vec<CTransition>> = sweep_map(cfg, &jobs, |&(service, rps)| {
         let threads = service.params().default_threads;
         let seed = cfg.seed ^ 0xc ^ (service as u64) << 8 ^ (rps as u64) << 16;
         let mut probe = FeatureProbe::new(service, threads, rps, cfg.noise_sigma, seed);
@@ -328,24 +343,14 @@ pub fn model_c_transitions(cfg: &SweepConfig) -> Vec<CTransition> {
     results.into_iter().flatten().collect()
 }
 
-/// Runs `f` over `jobs` on scoped worker threads (one per job, capped by the
-/// machine), preserving order.
-fn parallel_map<T: Sync, R: Send>(jobs: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-    let n_workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let chunk = jobs.len().div_ceil(n_workers.max(1)).max(1);
-    let mut out: Vec<Option<R>> = (0..jobs.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
-        for (slot_chunk, job_chunk) in out.chunks_mut(chunk).zip(jobs.chunks(chunk)) {
-            let f = &f;
-            scope.spawn(move |_| {
-                for (slot, job) in slot_chunk.iter_mut().zip(job_chunk) {
-                    *slot = Some(f(job));
-                }
-            });
-        }
-    })
-    .expect("worker threads must not panic");
-    out.into_iter().map(|r| r.expect("all slots filled")).collect()
+/// Order-preserving parallel map over sweep load points, honouring the
+/// sweep's [`jobs`](SweepConfig::jobs) override.
+fn sweep_map<T: Sync, R: Send>(
+    cfg: &SweepConfig,
+    items: &[T],
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    osml_ml::par::parallel_map_jobs(cfg.effective_jobs(), items, f)
 }
 
 /// Label given to a slowdown that is genuinely ~0 (free trade), so the
@@ -358,7 +363,7 @@ const REAL_ZERO_LABEL: f32 = 1e-3;
 /// ≤5 %, ≤10 %, … slowdowns — gradation that only exists relative to the
 /// current latency, since the QoS frontier hugs the saturation cliff).
 fn qos_slowdown(p95_new: f64, p95_base: f64) -> f64 {
-    ((p95_new / p95_base.max(1e-9) - 1.0).max(0.0)).min(2.0)
+    (p95_new / p95_base.max(1e-9) - 1.0).clamp(0.0, 2.0)
 }
 
 /// Walks a deprivation from `oaa` with the given per-step core/way ratio,
@@ -412,6 +417,19 @@ mod tests {
         labels.sort();
         labels.dedup();
         assert!(labels.len() <= 2, "expected at most 2 label groups, got {}", labels.len());
+    }
+
+    #[test]
+    fn corpus_sweep_is_bit_identical_across_job_counts() {
+        let base = SweepConfig::tiny(&[Service::Moses, Service::Xapian]);
+        let at_jobs = |jobs: usize| SweepConfig { jobs: Some(jobs), ..base.clone() };
+        // Bit-exact equality (Matrix compares raw f32 data): every load
+        // point derives its seed from its own coordinates, so the worker
+        // count must not matter.
+        assert_eq!(model_a_corpus(&at_jobs(1)), model_a_corpus(&at_jobs(4)));
+        assert_eq!(model_b_corpus(&at_jobs(1)), model_b_corpus(&at_jobs(4)));
+        assert_eq!(model_b_prime_corpus(&at_jobs(1)), model_b_prime_corpus(&at_jobs(4)));
+        assert_eq!(model_c_transitions(&at_jobs(1)), model_c_transitions(&at_jobs(4)));
     }
 
     #[test]

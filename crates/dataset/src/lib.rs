@@ -28,11 +28,9 @@ mod probe;
 mod train;
 
 pub use corpus::{
-    model_a_corpus, model_b_corpus, model_b_prime_corpus, model_c_transitions, Corpus,
-    SweepConfig,
+    model_a_corpus, model_b_corpus, model_b_prime_corpus, model_c_transitions, Corpus, SweepConfig,
 };
 pub use probe::FeatureProbe;
 pub use train::{
-    train_model_a, train_model_b, train_model_b_prime, train_model_c, TrainedModels,
-    TrainingConfig,
+    train_model_a, train_model_b, train_model_b_prime, train_model_c, TrainedModels, TrainingConfig,
 };

@@ -29,8 +29,7 @@ impl FeatureProbe {
         seed: u64,
     ) -> Self {
         let topo = Topology::xeon_e5_2697_v4();
-        let mut server =
-            SimServer::new(SimConfig { topology: topo.clone(), noise_sigma, seed });
+        let mut server = SimServer::new(SimConfig { topology: topo.clone(), noise_sigma, seed });
         let alloc = Allocation::whole_machine(&topo);
         let id = server
             .launch(LaunchSpec { service, threads, offered_rps }, alloc)
@@ -45,9 +44,8 @@ impl FeatureProbe {
     ///
     /// Panics if `cores` or `ways` are 0 or exceed the machine.
     pub fn sample_at(&mut self, cores: usize, ways: usize) -> CounterSample {
-        let picked = CoreSet::all(&self.topo)
-            .pick_spread(&self.topo, cores)
-            .expect("cores within machine");
+        let picked =
+            CoreSet::all(&self.topo).pick_spread(&self.topo, cores).expect("cores within machine");
         let mask = WayMask::contiguous(0, ways).expect("ways within machine");
         let alloc = Allocation::new(picked, mask, MbaThrottle::unthrottled());
         self.server.reallocate(self.id, alloc).expect("probe app is placed");

@@ -88,11 +88,21 @@ pub struct TrainedModels {
 
 impl TrainedModels {
     /// Trains the whole suite from one configuration.
+    ///
+    /// The four heads (Model-A, B, B′ and C) are independent given the
+    /// configuration, so they are trained fork-join in parallel whenever the
+    /// sweep's effective job count exceeds one; results are bit-identical to
+    /// the sequential order because each head derives its own seed.
     pub fn train(cfg: &TrainingConfig) -> TrainedModels {
-        let (model_a, report_a) = train_model_a(cfg);
-        let (model_b, report_b) = train_model_b(cfg);
-        let (model_b_prime, report_b_prime) = train_model_b_prime(cfg);
-        let model_c = train_model_c(cfg);
+        let jobs = cfg.sweep.effective_jobs();
+        let (
+            ((model_a, report_a), (model_b, report_b)),
+            ((model_b_prime, report_b_prime), model_c),
+        ) = osml_ml::par::join(
+            jobs,
+            || osml_ml::par::join(jobs, || train_model_a(cfg), || train_model_b(cfg)),
+            || osml_ml::par::join(jobs, || train_model_b_prime(cfg), || train_model_c(cfg)),
+        );
         TrainedModels {
             model_a,
             report_a,
@@ -123,6 +133,7 @@ mod tests {
                 noise_sigma: 0.005,
                 seed: 0x7e57,
                 services: services.to_vec(),
+                jobs: None,
             },
             trainer: TrainerConfig { epochs: 300, batch_size: 64, ..TrainerConfig::default() },
             dqn_steps: 100,

@@ -2,9 +2,9 @@
 //! drive the OSML controller on co-locations, and check the paper's headline
 //! behaviours hold across the crate boundaries.
 
+use osml_baselines::{Oracle, Parties, Unmanaged};
 use osml_bench::suite::{trained_suite, SuiteConfig};
 use osml_bench::{run_colocation, scenario::bootstrap_allocation};
-use osml_baselines::{Oracle, Parties, Unmanaged};
 use osml_platform::{Placement, Scheduler, Substrate};
 use osml_workloads::{LaunchSpec, Service, SimConfig, SimServer};
 
@@ -39,11 +39,7 @@ fn osml_beats_unmanaged_on_a_contended_pair() {
     let unmanaged = run_colocation(&mut um, &specs, 30, 7);
     let mut sched = osml();
     let managed = run_colocation(&mut sched, &specs, 60, 7);
-    assert!(
-        managed.qos_ok,
-        "OSML should isolate this pair: {:?}",
-        managed.apps
-    );
+    assert!(managed.qos_ok, "OSML should isolate this pair: {:?}", managed.apps);
     assert!(!unmanaged.qos_ok, "unmanaged sharing should fail here: {:?}", unmanaged.apps);
 }
 

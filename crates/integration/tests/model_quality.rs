@@ -42,10 +42,7 @@ fn model_a_generalizes_to_held_out_loads() {
             }
         }
     }
-    assert!(
-        close * 10 >= total * 6,
-        "only {close}/{total} held-out OAA predictions within +/-4"
-    );
+    assert!(close * 10 >= total * 6, "only {close}/{total} held-out OAA predictions within +/-4");
 }
 
 #[test]
@@ -78,8 +75,7 @@ fn rcliff_predictions_sit_at_or_below_the_oaa() {
     let (model, _) = train_model_a(&cfg());
     for service in [Service::Moses, Service::Xapian, Service::Specjbb] {
         let rps = service.params().nominal_max_rps() * 0.5;
-        let mut probe =
-            FeatureProbe::new(service, service.params().default_threads, rps, 0.0, 80);
+        let mut probe = FeatureProbe::new(service, service.params().default_threads, rps, 0.0, 80);
         let pred = model.predict(&probe.sample_at(14, 10));
         assert!(
             pred.rcliff.cores <= pred.oaa.cores + 1 && pred.rcliff.ways <= pred.oaa.ways + 1,

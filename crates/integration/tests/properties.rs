@@ -1,10 +1,8 @@
 //! Property-based tests (proptest) on the core data structures and the
 //! simulator's physical invariants.
 
-use osml_platform::{
-    Allocation, CoreSet, MbaThrottle, Substrate, Topology, WayMask,
-};
-use osml_workloads::oaa::{AllocPoint, LatencyGrid};
+use osml_platform::{Allocation, CoreSet, MbaThrottle, Substrate, Topology, WayMask};
+use osml_workloads::oaa::LatencyGrid;
 use osml_workloads::perf::{self, PerfInput};
 use osml_workloads::{LaunchSpec, Service, SimConfig, SimServer, ALL_SERVICES};
 use proptest::prelude::*;

@@ -225,7 +225,7 @@ impl Dqn {
         }
         let loss = self.policy.train_batch(&states, &labels, &Mse, &mut self.adam);
         self.updates += 1;
-        if self.updates % self.config.target_sync_every == 0 {
+        if self.updates.is_multiple_of(self.config.target_sync_every) {
             self.sync_target();
         }
         Some(loss)
@@ -410,7 +410,12 @@ mod tests {
     #[should_panic(expected = "action out of range")]
     fn observe_validates_action() {
         let mut agent = Dqn::new(DqnConfig::paper(1, 2, 0));
-        agent.observe(Transition { state: vec![0.0], action: 5, reward: 0.0, next_state: vec![0.0] });
+        agent.observe(Transition {
+            state: vec![0.0],
+            action: 5,
+            reward: 0.0,
+            next_state: vec![0.0],
+        });
     }
 
     #[test]

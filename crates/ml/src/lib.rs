@@ -15,7 +15,9 @@
 //! * [`Trainer`] — seeded mini-batch training with validation metrics,
 //! * [`dqn`] — a Deep Q-Network (policy + target nets, experience replay,
 //!   ε-greedy exploration) matching Model-C's structure (§IV-C),
-//! * [`store`] — versioned on-disk persistence for trained networks.
+//! * [`store`] — versioned on-disk persistence for trained networks,
+//! * [`par`] — the scoped-thread work pool (`OSML_JOBS`) behind the
+//!   parallel sweep/grid/training pipeline.
 //!
 //! Everything is deterministic given a seed.
 //!
@@ -41,10 +43,11 @@
 
 pub mod dqn;
 pub mod loss;
-pub mod store;
 mod matrix;
 mod mlp;
 mod optimizer;
+pub mod par;
+pub mod store;
 mod trainer;
 
 pub use matrix::Matrix;

@@ -109,32 +109,89 @@ impl Matrix {
         &mut self.data
     }
 
+    /// Reshapes to `rows × cols`, reusing the existing allocation when the
+    /// element count is unchanged. Contents are unspecified afterwards; the
+    /// `*_into` kernels overwrite every element.
+    pub(crate) fn reset(&mut self, rows: usize, cols: usize) {
+        let len = rows * cols;
+        self.rows = rows;
+        self.cols = cols;
+        if self.data.len() != len {
+            self.data.resize(len, 0.0);
+        }
+    }
+
     /// Matrix product `self × other`.
     ///
     /// # Panics
     ///
     /// Panics if the inner dimensions disagree.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// `out = self × other`, reshaping `out` (its buffer is reused).
+    ///
+    /// The k-loop walks four rows of `other` at a time, so each output row
+    /// stays register/L1-resident across the whole accumulation instead of
+    /// being re-streamed once per k; blocks whose four multipliers are all
+    /// zero (common with ReLU activations) are skipped outright.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.rows,
             "matmul dimension mismatch: {}x{} * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.cols);
+        out.reset(self.rows, other.cols);
+        let n_in = self.cols;
+        let n_out = other.cols;
         for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let lhs = &other.data[k * other.cols..(k + 1) * other.cols];
-                let dst = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (d, &b) in dst.iter_mut().zip(lhs) {
-                    *d += a * b;
+            let a_row = &self.data[i * n_in..(i + 1) * n_in];
+            let out_row = &mut out.data[i * n_out..(i + 1) * n_out];
+            out_row.fill(0.0);
+            accumulate_row(a_row, &other.data, n_out, out_row);
+        }
+    }
+
+    /// Fused dense-layer kernel: `out = act(self × w + bias)`, where `act`
+    /// is ReLU when `relu` is true and identity otherwise. `out` is reshaped
+    /// to `self.rows × w.cols` reusing its buffer, so a training loop that
+    /// ping-pongs two scratch matrices allocates nothing per step.
+    ///
+    /// Fusing the bias into the accumulator's initial value and the
+    /// activation into the same pass removes two full sweeps over the output
+    /// (plus the pre-activation clone the layer cache used to keep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != w.rows` or `bias.len() != w.cols`.
+    pub fn matmul_bias_act_into(&self, w: &Matrix, bias: &[f32], relu: bool, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, w.rows,
+            "matmul dimension mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, w.rows, w.cols
+        );
+        assert_eq!(bias.len(), w.cols, "bias length mismatch");
+        out.reset(self.rows, w.cols);
+        let n_in = self.cols;
+        let n_out = w.cols;
+        for i in 0..self.rows {
+            let a_row = &self.data[i * n_in..(i + 1) * n_in];
+            let out_row = &mut out.data[i * n_out..(i + 1) * n_out];
+            out_row.copy_from_slice(bias);
+            accumulate_row(a_row, &w.data, n_out, out_row);
+            if relu {
+                for v in out_row.iter_mut() {
+                    *v = v.max(0.0);
                 }
             }
         }
-        out
     }
 
     /// `selfᵀ × other` without materializing the transpose.
@@ -143,22 +200,63 @@ impl Matrix {
     ///
     /// Panics if `self.rows != other.rows`.
     pub fn transpose_matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.transpose_matmul_into(other, &mut out);
+        out
+    }
+
+    /// `out = selfᵀ × other`, reshaping `out` (its buffer is reused).
+    ///
+    /// Both operands are streamed row-major; the r-loop is unrolled 4-wide
+    /// so the (small) output is swept n/4 times instead of n, and blocks
+    /// whose four multipliers are all zero (ReLU-sparse deltas) are skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows != other.rows`.
+    pub fn transpose_matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.rows, other.rows, "transpose_matmul dimension mismatch");
-        let mut out = Matrix::zeros(self.cols, other.cols);
-        for r in 0..self.rows {
-            let a_row = self.row(r);
-            let b_row = other.row(r);
+        out.reset(self.cols, other.cols);
+        out.data.fill(0.0);
+        let n = self.rows;
+        let ac = self.cols;
+        let bc = other.cols;
+        let mut r = 0;
+        while r + 4 <= n {
+            let a0 = &self.data[r * ac..(r + 1) * ac];
+            let a1 = &self.data[(r + 1) * ac..(r + 2) * ac];
+            let a2 = &self.data[(r + 2) * ac..(r + 3) * ac];
+            let a3 = &self.data[(r + 3) * ac..(r + 4) * ac];
+            let b0 = &other.data[r * bc..(r + 1) * bc];
+            let b1 = &other.data[(r + 1) * bc..(r + 2) * bc];
+            let b2 = &other.data[(r + 2) * bc..(r + 3) * bc];
+            let b3 = &other.data[(r + 3) * bc..(r + 4) * bc];
+            for i in 0..ac {
+                let (x0, x1, x2, x3) = (a0[i], a1[i], a2[i], a3[i]);
+                if x0 == 0.0 && x1 == 0.0 && x2 == 0.0 && x3 == 0.0 {
+                    continue;
+                }
+                let dst = &mut out.data[i * bc..(i + 1) * bc];
+                for j in 0..bc {
+                    dst[j] += x0 * b0[j] + x1 * b1[j] + x2 * b2[j] + x3 * b3[j];
+                }
+            }
+            r += 4;
+        }
+        while r < n {
+            let a_row = &self.data[r * ac..(r + 1) * ac];
+            let b_row = &other.data[r * bc..(r + 1) * bc];
             for (i, &a) in a_row.iter().enumerate() {
                 if a == 0.0 {
                     continue;
                 }
-                let dst = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                let dst = &mut out.data[i * bc..(i + 1) * bc];
                 for (d, &b) in dst.iter_mut().zip(b_row) {
                     *d += a * b;
                 }
             }
+            r += 1;
         }
-        out
     }
 
     /// `self × otherᵀ` without materializing the transpose.
@@ -167,17 +265,62 @@ impl Matrix {
     ///
     /// Panics if `self.cols != other.cols`.
     pub fn matmul_transpose(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_transpose_into(other, &mut out);
+        out
+    }
+
+    /// `out = self × otherᵀ`, reshaping `out` (its buffer is reused).
+    ///
+    /// Each output element is an independent dot product of two contiguous
+    /// rows; four partial accumulators let the compiler keep the multiplies
+    /// pipelined instead of serializing on one running sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.cols`.
+    pub fn matmul_transpose_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.cols, "matmul_transpose dimension mismatch");
-        let mut out = Matrix::zeros(self.rows, other.rows);
+        out.reset(self.rows, other.rows);
+        let k = self.cols;
         for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..other.rows {
-                let b_row = other.row(j);
-                out.data[i * other.rows + j] =
-                    a_row.iter().zip(b_row).map(|(&a, &b)| a * b).sum();
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out.data[i * other.rows..(i + 1) * other.rows];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &other.data[j * k..(j + 1) * k];
+                let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0, 0.0, 0.0);
+                let mut c = 0;
+                while c + 4 <= k {
+                    s0 += a_row[c] * b_row[c];
+                    s1 += a_row[c + 1] * b_row[c + 1];
+                    s2 += a_row[c + 2] * b_row[c + 2];
+                    s3 += a_row[c + 3] * b_row[c + 3];
+                    c += 4;
+                }
+                let mut s = (s0 + s1) + (s2 + s3);
+                while c < k {
+                    s += a_row[c] * b_row[c];
+                    c += 1;
+                }
+                *o = s;
             }
         }
-        out
+    }
+
+    /// Copies the `idx`-selected rows of `self` into `out` (reshaped to
+    /// `idx.len() × self.cols`, buffer reused). This is the mini-batch
+    /// gather; reusing `out` keeps `Trainer::fit` allocation-free per batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn gather_rows_into(&self, idx: &[usize], out: &mut Matrix) {
+        out.reset(idx.len(), self.cols);
+        for (dst_r, &src_r) in idx.iter().enumerate() {
+            assert!(src_r < self.rows, "row {src_r} out of bounds");
+            out.data[dst_r * self.cols..(dst_r + 1) * self.cols]
+                .copy_from_slice(&self.data[src_r * self.cols..(src_r + 1) * self.cols]);
+        }
     }
 
     /// Adds `row` to every row of `self` (bias broadcast).
@@ -210,6 +353,38 @@ impl Matrix {
         for v in &mut self.data {
             *v = f(*v);
         }
+    }
+}
+
+/// Accumulates `out_row += Σ_k a_row[k] · w[k, ·]` with the k-loop unrolled
+/// 4-wide; `w` is the flat row-major weight buffer with rows of `n_out`.
+/// Blocks whose four multipliers are all zero are skipped (ReLU sparsity).
+#[inline]
+fn accumulate_row(a_row: &[f32], w: &[f32], n_out: usize, out_row: &mut [f32]) {
+    let n_in = a_row.len();
+    let mut k = 0;
+    while k + 4 <= n_in {
+        let (a0, a1, a2, a3) = (a_row[k], a_row[k + 1], a_row[k + 2], a_row[k + 3]);
+        if a0 != 0.0 || a1 != 0.0 || a2 != 0.0 || a3 != 0.0 {
+            let w0 = &w[k * n_out..(k + 1) * n_out];
+            let w1 = &w[(k + 1) * n_out..(k + 2) * n_out];
+            let w2 = &w[(k + 2) * n_out..(k + 3) * n_out];
+            let w3 = &w[(k + 3) * n_out..(k + 4) * n_out];
+            for j in 0..n_out {
+                out_row[j] += a0 * w0[j] + a1 * w1[j] + a2 * w2[j] + a3 * w3[j];
+            }
+        }
+        k += 4;
+    }
+    while k < n_in {
+        let a = a_row[k];
+        if a != 0.0 {
+            let wk = &w[k * n_out..(k + 1) * n_out];
+            for (o, &b) in out_row.iter_mut().zip(wk) {
+                *o += a * b;
+            }
+        }
+        k += 1;
     }
 }
 
@@ -286,6 +461,119 @@ mod tests {
         assert_eq!(c.dims(), (1, 2));
         assert_eq!(c[(0, 0)], 11.0);
         assert_eq!(c[(0, 1)], 17.0);
+    }
+
+    /// Reference triple-loop product to pin the optimized kernels against.
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for k in 0..a.cols() {
+                for j in 0..b.cols() {
+                    out[(i, j)] += a[(i, k)] * b[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Deterministic pseudo-random matrix with ReLU-like zero runs.
+    fn test_matrix(rows: usize, cols: usize, seed: u32) -> Matrix {
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+        let mut m = Matrix::zeros(rows, cols);
+        for v in m.as_mut_slice() {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            let x = (state >> 8) as f32 / (1 << 24) as f32 - 0.5;
+            *v = if state.is_multiple_of(3) { 0.0 } else { x };
+        }
+        m
+    }
+
+    #[test]
+    fn unrolled_matmul_matches_naive_at_odd_shapes() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (4, 8, 4), (7, 41, 13), (2, 40, 40)] {
+            let a = test_matrix(m, k, (m * 100 + k) as u32);
+            let b = test_matrix(k, n, (k * 100 + n) as u32);
+            let fast = a.matmul(&b);
+            let slow = naive_matmul(&a, &b);
+            for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+                assert!((x - y).abs() < 1e-5, "fast {x} vs naive {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_kernel_matches_separate_ops() {
+        let a = test_matrix(5, 9, 1);
+        let w = test_matrix(9, 6, 2);
+        let bias: Vec<f32> = (0..6).map(|i| i as f32 * 0.25 - 0.5).collect();
+
+        let mut expected = a.matmul(&w);
+        expected.add_row_broadcast(&bias);
+        let mut expected_relu = expected.clone();
+        expected_relu.map_in_place(|v| v.max(0.0));
+
+        let mut linear = Matrix::zeros(0, 0);
+        a.matmul_bias_act_into(&w, &bias, false, &mut linear);
+        let mut relu = Matrix::zeros(0, 0);
+        a.matmul_bias_act_into(&w, &bias, true, &mut relu);
+
+        for (x, y) in linear.as_slice().iter().zip(expected.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+        for (x, y) in relu.as_slice().iter().zip(expected_relu.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+            assert!(*x >= 0.0);
+        }
+    }
+
+    #[test]
+    fn into_kernels_reuse_buffers_across_shapes() {
+        let mut out = Matrix::zeros(0, 0);
+        // Grow, then shrink: results must match fresh computations.
+        for &(m, k, n) in &[(6, 8, 10), (2, 3, 4)] {
+            let a = test_matrix(m, k, 7);
+            let b = test_matrix(k, n, 8);
+            a.matmul_into(&b, &mut out);
+            assert_eq!(out.dims(), (m, n));
+            let fresh = naive_matmul(&a, &b);
+            for (x, y) in out.as_slice().iter().zip(fresh.as_slice()) {
+                assert!((x - y).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_kernels_match_naive_at_odd_sizes() {
+        let a = test_matrix(13, 7, 3);
+        let b = test_matrix(13, 5, 4);
+        let fast = a.transpose_matmul(&b);
+        // Naive: out[i][j] = sum_r a[r][i] * b[r][j].
+        for i in 0..7 {
+            for j in 0..5 {
+                let want: f32 = (0..13).map(|r| a[(r, i)] * b[(r, j)]).sum();
+                assert!((fast[(i, j)] - want).abs() < 1e-5);
+            }
+        }
+
+        let c = test_matrix(6, 11, 5);
+        let d = test_matrix(4, 11, 6);
+        let fast = c.matmul_transpose(&d);
+        for i in 0..6 {
+            for j in 0..4 {
+                let want: f32 = (0..11).map(|k| c[(i, k)] * d[(j, k)]).sum();
+                assert!((fast[(i, j)] - want).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn gather_rows_into_selects_and_reuses() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let mut out = Matrix::zeros(0, 0);
+        m.gather_rows_into(&[2, 0], &mut out);
+        assert_eq!(out, Matrix::from_rows(&[&[5.0, 6.0], &[1.0, 2.0]]));
+        m.gather_rows_into(&[1], &mut out);
+        assert_eq!(out, Matrix::from_rows(&[&[3.0, 4.0]]));
     }
 
     #[test]

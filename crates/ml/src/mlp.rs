@@ -117,33 +117,53 @@ impl Mlp {
 
     /// Forward pass for a batch (one input per row).
     ///
+    /// Each layer runs through the fused matmul+bias+activation kernel into
+    /// one of two ping-ponged scratch matrices, so inference allocates two
+    /// buffers total regardless of depth.
+    ///
     /// # Panics
     ///
     /// Panics if the column count differs from the input width.
     pub fn forward_batch(&self, input: &Matrix) -> Matrix {
-        let (activations, _) = self.forward_with_cache(input);
-        activations.into_iter().last().expect("network has layers")
-    }
-
-    /// Forward pass keeping per-layer activations and pre-activations for
-    /// backpropagation. `activations[0]` is the input; `activations[i+1]` is
-    /// layer `i`'s output after its activation function.
-    fn forward_with_cache(&self, input: &Matrix) -> (Vec<Matrix>, Vec<Matrix>) {
         assert_eq!(input.cols(), self.input_size(), "input width mismatch");
         let n_layers = self.layers.len();
-        let mut activations = Vec::with_capacity(n_layers + 1);
-        let mut pre_activations = Vec::with_capacity(n_layers);
-        activations.push(input.clone());
+        let mut bufs = [Matrix::zeros(0, 0), Matrix::zeros(0, 0)];
         for (i, layer) in self.layers.iter().enumerate() {
-            let mut z = activations.last().expect("nonempty").matmul(&layer.weights);
-            z.add_row_broadcast(&layer.bias);
-            pre_activations.push(z.clone());
-            if i + 1 < n_layers {
-                z.map_in_place(|v| v.max(0.0)); // ReLU on hidden layers
-            }
-            activations.push(z);
+            let relu = i + 1 < n_layers; // hidden layers ReLU, output linear
+            let (a, b) = bufs.split_at_mut(1);
+            let (src, dst): (&Matrix, &mut Matrix) = if i == 0 {
+                (input, &mut a[0])
+            } else if i % 2 == 1 {
+                (&a[0], &mut b[0])
+            } else {
+                (&b[0], &mut a[0])
+            };
+            src.matmul_bias_act_into(&layer.weights, &layer.bias, relu, dst);
         }
-        (activations, pre_activations)
+        let [b0, b1] = bufs;
+        if (n_layers - 1).is_multiple_of(2) {
+            b0
+        } else {
+            b1
+        }
+    }
+
+    /// Forward pass keeping each layer's post-activation output for
+    /// backpropagation: `outputs[i]` is layer `i`'s output (after ReLU on
+    /// hidden layers). Pre-activations are not cached — for ReLU the
+    /// derivative mask is recoverable from the output (`max(0, z) > 0 ⟺
+    /// z > 0`), which halves the cache and drops a clone per layer.
+    fn forward_with_cache(&self, input: &Matrix) -> Vec<Matrix> {
+        assert_eq!(input.cols(), self.input_size(), "input width mismatch");
+        let n_layers = self.layers.len();
+        let mut outputs: Vec<Matrix> = Vec::with_capacity(n_layers);
+        for (i, layer) in self.layers.iter().enumerate() {
+            let src = if i == 0 { input } else { &outputs[i - 1] };
+            let mut z = Matrix::zeros(0, 0);
+            src.matmul_bias_act_into(&layer.weights, &layer.bias, i + 1 < n_layers, &mut z);
+            outputs.push(z);
+        }
+        outputs
     }
 
     /// One backpropagation step on a batch: computes gradients of `loss` and
@@ -172,28 +192,32 @@ impl Mlp {
         y: &Matrix,
         loss: &L,
     ) -> (ParamGrads, f32) {
-        let (activations, pre_activations) = self.forward_with_cache(x);
-        let output = activations.last().expect("network has layers");
+        let outputs = self.forward_with_cache(x);
+        let output = outputs.last().expect("network has layers");
         let value = loss.value(output, y);
 
         let mut weight_grads = Vec::with_capacity(self.layers.len());
         let mut bias_grads = Vec::with_capacity(self.layers.len());
         // delta = dL/dz for the current layer, starting at the (linear) output.
         let mut delta = loss.gradient(output, y);
+        let mut delta_scratch = Matrix::zeros(0, 0);
         for i in (0..self.layers.len()).rev() {
             if i + 1 < self.layers.len() {
-                // Pass through the ReLU derivative of this hidden layer.
-                let pre = &pre_activations[i];
-                for (d, &z) in delta.as_mut_slice().iter_mut().zip(pre.as_slice()) {
-                    if z <= 0.0 {
+                // ReLU derivative of this hidden layer, recovered from its
+                // post-activation output: max(0, z) ≤ 0 exactly when z ≤ 0.
+                let act = &outputs[i];
+                for (d, &a) in delta.as_mut_slice().iter_mut().zip(act.as_slice()) {
+                    if a <= 0.0 {
                         *d = 0.0;
                     }
                 }
             }
-            weight_grads.push(activations[i].transpose_matmul(&delta));
+            let layer_input: &Matrix = if i == 0 { x } else { &outputs[i - 1] };
+            weight_grads.push(layer_input.transpose_matmul(&delta));
             bias_grads.push(delta.column_sums());
             if i > 0 {
-                delta = delta.matmul_transpose(&self.layers[i].weights);
+                delta.matmul_transpose_into(&self.layers[i].weights, &mut delta_scratch);
+                std::mem::swap(&mut delta, &mut delta_scratch);
             }
         }
         weight_grads.reverse();
@@ -222,10 +246,7 @@ mod tests {
         let mlp = Mlp::new(&MlpConfig::paper_mlp(11, 5, 1));
         assert_eq!(mlp.input_size(), 11);
         assert_eq!(mlp.output_size(), 5);
-        assert_eq!(
-            mlp.parameter_count(),
-            11 * 40 + 40 + 40 * 40 + 40 + 40 * 40 + 40 + 40 * 5 + 5
-        );
+        assert_eq!(mlp.parameter_count(), 11 * 40 + 40 + 40 * 40 + 40 + 40 * 40 + 40 + 40 * 5 + 5);
         let out = mlp.forward(&[0.0; 11]);
         assert_eq!(out.len(), 5);
     }

@@ -24,8 +24,7 @@ impl Sgd {
 impl Optimizer for Sgd {
     fn step(&mut self, mlp: &mut Mlp, grads: &ParamGrads) {
         for (li, layer) in mlp.layers_mut().iter_mut().enumerate() {
-            for (w, &g) in
-                layer.weights.as_mut_slice().iter_mut().zip(grads.weights[li].as_slice())
+            for (w, &g) in layer.weights.as_mut_slice().iter_mut().zip(grads.weights[li].as_slice())
             {
                 *w -= self.learning_rate * g;
             }
@@ -109,8 +108,7 @@ impl Optimizer for Adam {
             let v = &mut self.v[li];
             let grad_iter =
                 grads.weights[li].as_slice().iter().chain(grads.biases[li].iter()).copied();
-            let param_iter =
-                layer.weights.as_mut_slice().iter_mut().chain(layer.bias.iter_mut());
+            let param_iter = layer.weights.as_mut_slice().iter_mut().chain(layer.bias.iter_mut());
             for (((param, g), mi), vi) in param_iter.zip(grad_iter).zip(m).zip(v) {
                 *mi = c.beta1 * *mi + (1.0 - c.beta1) * g;
                 *vi = c.beta2 * *vi + (1.0 - c.beta2) * g * g;
@@ -141,10 +139,7 @@ mod tests {
         mlp.train_batch(&x, &y, &Mse, &mut adam);
         let w1 = mlp.layers()[0].weights[(0, 0)];
         let step = (w1 - w0).abs();
-        assert!(
-            (step - 1e-3).abs() < 1e-4,
-            "first Adam step should be ~learning rate, got {step}"
-        );
+        assert!((step - 1e-3).abs() < 1e-4, "first Adam step should be ~learning rate, got {step}");
         assert_eq!(adam.steps(), 1);
     }
 

@@ -168,7 +168,8 @@ mod tests {
     use crate::MlpConfig;
 
     fn temp_store(tag: &str) -> (ModelStore, PathBuf) {
-        let dir = std::env::temp_dir().join(format!("osml-store-test-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("osml-store-test-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         (ModelStore::open(&dir).unwrap(), dir)
     }
@@ -207,7 +208,8 @@ mod tests {
         store.save("m", &mlp).unwrap();
         // Tamper with the version field.
         let path = dir.join("m.json");
-        let text = std::fs::read_to_string(&path).unwrap().replace("\"version\":1", "\"version\":99");
+        let text =
+            std::fs::read_to_string(&path).unwrap().replace("\"version\":1", "\"version\":99");
         std::fs::write(&path, text).unwrap();
         assert!(matches!(
             store.load("m"),

@@ -100,8 +100,9 @@ impl Trainer {
     ///
     /// # Panics
     ///
-    /// Panics if `x` and `y` have different row counts or the dataset is
-    /// empty.
+    /// Panics if `x` and `y` have different row counts, the dataset is
+    /// empty, or `validation_split` is so large the training split would be
+    /// empty (e.g. a split of 1.0, or 0.9 on a 10-row dataset).
     pub fn fit<L: Loss>(&self, mlp: &mut Mlp, x: &Matrix, y: &Matrix, loss: &L) -> TrainReport {
         assert_eq!(x.rows(), y.rows(), "x and y row counts differ");
         assert!(x.rows() > 0, "dataset is empty");
@@ -111,12 +112,16 @@ impl Trainer {
         order.shuffle(&mut rng);
 
         let n_val = ((n as f64) * self.config.validation_split) as usize;
+        assert!(
+            n_val < n,
+            "validation_split {} leaves an empty training split ({n_val} of {n} rows \
+             held out); lower the split or provide more data",
+            self.config.validation_split
+        );
         let (val_idx, train_idx) = order.split_at(n_val);
         let gather = |idx: &[usize], m: &Matrix| -> Matrix {
-            let mut out = Matrix::zeros(idx.len(), m.cols());
-            for (r, &i) in idx.iter().enumerate() {
-                out.row_mut(r).copy_from_slice(m.row(i));
-            }
+            let mut out = Matrix::zeros(0, 0);
+            m.gather_rows_into(idx, &mut out);
             out
         };
         let (x_train, y_train) = (gather(train_idx, x), gather(train_idx, y));
@@ -125,13 +130,17 @@ impl Trainer {
         let mut adam = Adam::new(mlp, self.config.adam);
         let mut epoch_losses = Vec::with_capacity(self.config.epochs);
         let mut batch_order: Vec<usize> = (0..x_train.rows()).collect();
+        // Mini-batch scratch: reshaped per chunk, reallocated only when the
+        // chunk size changes (once per epoch at the tail), not per batch.
+        let mut xb = Matrix::zeros(0, 0);
+        let mut yb = Matrix::zeros(0, 0);
         for _ in 0..self.config.epochs {
             batch_order.shuffle(&mut rng);
             let mut loss_sum = 0.0f64;
             let mut batches = 0usize;
             for chunk in batch_order.chunks(self.config.batch_size.max(1)) {
-                let xb = gather(chunk, &x_train);
-                let yb = gather(chunk, &y_train);
+                x_train.gather_rows_into(chunk, &mut xb);
+                y_train.gather_rows_into(chunk, &mut yb);
                 loss_sum += mlp.train_batch(&xb, &yb, loss, &mut adam) as f64;
                 batches += 1;
             }
@@ -169,11 +178,8 @@ mod tests {
     fn training_reduces_loss_monotonically_enough() {
         let (x, y) = dataset(512);
         let mut mlp = Mlp::new(&MlpConfig::new(&[2, 16, 2], 3));
-        let trainer = Trainer::new(TrainerConfig {
-            epochs: 150,
-            batch_size: 32,
-            ..TrainerConfig::default()
-        });
+        let trainer =
+            Trainer::new(TrainerConfig { epochs: 150, batch_size: 32, ..TrainerConfig::default() });
         let report = trainer.fit(&mut mlp, &x, &y, &Mse);
         assert_eq!(report.epoch_losses.len(), 150);
         let first = report.epoch_losses.first().unwrap();
@@ -235,6 +241,19 @@ mod tests {
         let m = Metrics::evaluate(&mlp, &x, &y);
         assert!(m.mae >= 0.0 && m.rmse >= m.mae.min(m.rmse));
         assert!((0.0..=1.0).contains(&m.within_one));
+    }
+
+    #[test]
+    #[should_panic(expected = "leaves an empty training split")]
+    fn full_validation_split_panics_clearly() {
+        let (x, y) = dataset(8);
+        let mut mlp = Mlp::new(&MlpConfig::new(&[2, 8, 2], 5));
+        let trainer = Trainer::new(TrainerConfig {
+            epochs: 1,
+            validation_split: 1.0,
+            ..TrainerConfig::default()
+        });
+        let _ = trainer.fit(&mut mlp, &x, &y, &Mse);
     }
 
     #[test]

@@ -15,17 +15,17 @@ pub const BASE_FEATURES: usize = 11;
 /// [`CounterSample::model_a_features`] order. Chosen so normalized values
 /// land roughly in [0, 2] on the paper's testbed.
 pub const FEATURE_SCALES: [f64; BASE_FEATURES] = [
-    2.0,    // IPC
-    2.0e8,  // LLC misses per second
-    50.0,   // MBL, GB/s
-    36.0,   // CPU usage (cores busy)
-    16.0,   // memory util, GB
-    25.0,   // virtual memory, GB
-    16.0,   // resident memory, GB
-    45.0,   // LLC occupancy, MB
-    36.0,   // allocated cores
-    20.0,   // allocated ways
-    3.0,    // frequency, GHz
+    2.0,   // IPC
+    2.0e8, // LLC misses per second
+    50.0,  // MBL, GB/s
+    36.0,  // CPU usage (cores busy)
+    16.0,  // memory util, GB
+    25.0,  // virtual memory, GB
+    16.0,  // resident memory, GB
+    45.0,  // LLC occupancy, MB
+    36.0,  // allocated cores
+    20.0,  // allocated ways
+    3.0,   // frequency, GHz
 ];
 
 /// Scale applied to latencies before entering a feature vector. Latencies
@@ -58,7 +58,11 @@ pub fn model_b_input(sample: &CounterSample, qos_slowdown: f64) -> Vec<f32> {
 
 /// Model-B' input: base features plus a proposed deprivation in cores and
 /// ways.
-pub fn model_b_prime_input(sample: &CounterSample, cores_taken: usize, ways_taken: usize) -> Vec<f32> {
+pub fn model_b_prime_input(
+    sample: &CounterSample,
+    cores_taken: usize,
+    ways_taken: usize,
+) -> Vec<f32> {
     let mut v = base_features(sample);
     v.push(cores_taken as f32 / 36.0);
     v.push(ways_taken as f32 / 20.0);

@@ -54,11 +54,7 @@ impl BPoints {
 
     /// The point freeing the most total resources.
     pub fn most_generous(&self) -> BPoint {
-        *self
-            .points
-            .iter()
-            .max_by_key(|p| p.total())
-            .expect("points is non-empty")
+        *self.points.iter().max_by_key(|p| p.total()).expect("points is non-empty")
     }
 }
 
@@ -163,8 +159,7 @@ impl ModelBPrime {
     /// Predicted QoS slowdown (fraction, ≥ 0) if `(cores_taken, ways_taken)`
     /// are deprived from the sampled service.
     pub fn predict(&self, sample: &CounterSample, cores_taken: usize, ways_taken: usize) -> f64 {
-        let out =
-            self.mlp.forward(&features::model_b_prime_input(sample, cores_taken, ways_taken));
+        let out = self.mlp.forward(&features::model_b_prime_input(sample, cores_taken, ways_taken));
         f64::from(out[0]).max(0.0)
     }
 
@@ -295,8 +290,7 @@ mod tests {
         let b = ModelB::new(36, 20, 2);
         let bp = ModelBPrime::new(2);
         let b2: ModelB = serde_json::from_str(&serde_json::to_string(&b).unwrap()).unwrap();
-        let bp2: ModelBPrime =
-            serde_json::from_str(&serde_json::to_string(&bp).unwrap()).unwrap();
+        let bp2: ModelBPrime = serde_json::from_str(&serde_json::to_string(&bp).unwrap()).unwrap();
         assert_eq!(b, b2);
         assert_eq!(bp, bp2);
     }

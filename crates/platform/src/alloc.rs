@@ -372,11 +372,8 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let a = Allocation::new(
-            CoreSet::first_n(2),
-            WayMask::first_n(3),
-            MbaThrottle::unthrottled(),
-        );
+        let a =
+            Allocation::new(CoreSet::first_n(2), WayMask::first_n(3), MbaThrottle::unthrottled());
         assert_eq!(a.to_string(), "<2 cores, 3 ways, mba 100%>");
         assert_eq!(CoreSet::from_cores([1, 5]).to_string(), "cores{1,5}");
     }

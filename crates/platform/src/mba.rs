@@ -31,7 +31,7 @@ impl MbaThrottle {
     /// Returns [`PlatformError::InvalidThrottle`] unless `percent` is one of
     /// 10, 20, …, 100 — the levels real MBA hardware accepts.
     pub fn percent(percent: u8) -> Result<Self, PlatformError> {
-        if percent == 0 || percent > 100 || percent % 10 != 0 {
+        if percent == 0 || percent > 100 || !percent.is_multiple_of(10) {
             return Err(PlatformError::InvalidThrottle { percent });
         }
         Ok(MbaThrottle(percent))

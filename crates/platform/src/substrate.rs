@@ -212,7 +212,7 @@ mod tests {
         let mut s = Ledger::new();
         s.place(1, alloc(0..2, 0, 8)); // ways 0..8
         s.place(2, alloc(2..4, 12, 4)); // ways 12..16
-        // Free runs: 8..12 (4 ways) and 16..20 (4 ways).
+                                        // Free runs: 8..12 (4 ways) and 16..20 (4 ways).
         let m = s.find_free_ways(4, None).unwrap();
         assert_eq!((m.first(), m.count()), (8, 4));
         assert!(s.find_free_ways(5, None).is_none());

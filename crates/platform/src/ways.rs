@@ -56,11 +56,7 @@ impl WayMask {
         if count == 0 || first + count > 32 {
             return Err(PlatformError::InvalidWayMask { bits: 0 });
         }
-        let bits = if count == 32 {
-            u32::MAX
-        } else {
-            ((1u32 << count) - 1) << first
-        };
+        let bits = if count == 32 { u32::MAX } else { ((1u32 << count) - 1) << first };
         Ok(WayMask(bits))
     }
 

@@ -4,20 +4,28 @@
 //!
 //! Run with `cargo run -p osml-workloads --release --example calibration`.
 
-use osml_workloads::{oaa, Service, ALL_SERVICES};
 use osml_platform::Topology;
+use osml_workloads::{oaa, ALL_SERVICES};
 fn main() {
     let t = Topology::xeon_e5_2697_v4();
-    println!("{:<11} {:>12} {:>12} {:>7} {:>14} {:>10}", "service", "table1_max", "measured", "ratio", "rcliff(c,w)", "cliff_mag");
+    println!(
+        "{:<11} {:>12} {:>12} {:>7} {:>14} {:>10}",
+        "service", "table1_max", "measured", "ratio", "rcliff(c,w)", "cliff_mag"
+    );
     for s in ALL_SERVICES {
         let ml = oaa::max_load(&t, s);
         let nom = s.params().nominal_max_rps();
         let rps = 0.6 * nom;
         let g = oaa::LatencyGrid::sweep(&t, s, s.params().default_threads, rps);
         let cliff = g.rcliff();
-        println!("{:<11} {:>12.0} {:>12.0} {:>7.2} {:>14} {:>10.1}",
-            s.name(), nom, ml, ml/nom,
+        println!(
+            "{:<11} {:>12.0} {:>12.0} {:>7.2} {:>14} {:>10.1}",
+            s.name(),
+            nom,
+            ml,
+            ml / nom,
             cliff.map(|p| format!("({},{})", p.cores, p.ways)).unwrap_or("-".into()),
-            g.cliff_magnitude());
+            g.cliff_magnitude()
+        );
     }
 }

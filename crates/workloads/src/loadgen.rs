@@ -67,10 +67,9 @@ impl LoadSchedule {
                     from_rps + f * (to_rps - from_rps)
                 }
             }
-            LoadSchedule::Diurnal { base_rps, amplitude_rps, period_s } => {
-                (base_rps + amplitude_rps * (2.0 * std::f64::consts::PI * t / period_s).sin())
-                    .max(0.0)
-            }
+            LoadSchedule::Diurnal { base_rps, amplitude_rps, period_s } => (base_rps
+                + amplitude_rps * (2.0 * std::f64::consts::PI * t / period_s).sin())
+            .max(0.0),
         }
     }
 }
@@ -116,8 +115,7 @@ impl ArrivalScript {
     /// paper's loads did on theirs — the point of the scenario is the
     /// scheduling dynamics, not permanent overload.
     pub fn fig14() -> Self {
-        let pct =
-            |s: Service, p: f64| -> f64 { s.params().nominal_max_rps() * p / 100.0 };
+        let pct = |s: Service, p: f64| -> f64 { s.params().nominal_max_rps() * p / 100.0 };
         ArrivalScript::new(
             vec![
                 ArrivalEvent {
@@ -175,8 +173,7 @@ impl ArrivalScript {
     /// The Fig. 4 heuristic-scheduling scenario: Img-dnn, Xapian and Moses
     /// co-arrive at moderate loads and must be untangled by the scheduler.
     pub fn fig4() -> Self {
-        let pct =
-            |s: Service, p: f64| -> f64 { s.params().nominal_max_rps() * p / 100.0 };
+        let pct = |s: Service, p: f64| -> f64 { s.params().nominal_max_rps() * p / 100.0 };
         let ev = |service: Service, p: f64| ArrivalEvent {
             service,
             arrive_s: 0.0,
@@ -185,11 +182,7 @@ impl ArrivalScript {
             load: LoadSchedule::Constant { rps: pct(service, p) },
         };
         ArrivalScript::new(
-            vec![
-                ev(Service::ImgDnn, 40.0),
-                ev(Service::Xapian, 40.0),
-                ev(Service::Moses, 40.0),
-            ],
+            vec![ev(Service::ImgDnn, 40.0), ev(Service::Xapian, 40.0), ev(Service::Moses, 40.0)],
             120.0,
         )
     }

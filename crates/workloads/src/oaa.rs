@@ -156,8 +156,8 @@ impl LatencyGrid {
     pub fn rcliff(&self) -> Option<AllocPoint> {
         let mut best: Option<AllocPoint> = None;
         for cores in 1..=self.max_cores {
-            if let Some(ways) = (1..=self.max_ways)
-                .find(|&w| self.meets_qos(AllocPoint::new(cores, w)))
+            if let Some(ways) =
+                (1..=self.max_ways).find(|&w| self.meets_qos(AllocPoint::new(cores, w)))
             {
                 let cand = AllocPoint::new(cores, ways);
                 best = match best {
@@ -251,11 +251,8 @@ pub fn max_load(topo: &Topology, service: Service) -> f64 {
     let params = service.params();
     let threads = params.default_threads;
     let meets = |rps: f64| -> bool {
-        let mut server = SimServer::new(SimConfig {
-            topology: topo.clone(),
-            noise_sigma: 0.0,
-            seed: 0,
-        });
+        let mut server =
+            SimServer::new(SimConfig { topology: topo.clone(), noise_sigma: 0.0, seed: 0 });
         let alloc = osml_platform::Allocation::whole_machine(topo);
         let id = server
             .launch(crate::LaunchSpec { service, threads, offered_rps: rps }, alloc)
@@ -316,10 +313,7 @@ mod tests {
         let t = topo();
         let moses = LatencyGrid::sweep(&t, Service::Moses, 16, 2200.0).cliff_magnitude();
         let mongo = LatencyGrid::sweep(&t, Service::MongoDb, 24, 5000.0).cliff_magnitude();
-        assert!(
-            mongo < moses,
-            "mongodb ({mongo:.1}x) should cliff less than moses ({moses:.1}x)"
-        );
+        assert!(mongo < moses, "mongodb ({mongo:.1}x) should cliff less than moses ({moses:.1}x)");
     }
 
     #[test]
@@ -349,16 +343,11 @@ mod tests {
         let t = topo();
         let oaas: Vec<_> = [16usize, 20, 28, 36]
             .iter()
-            .map(|&th| {
-                LatencyGrid::sweep(&t, Service::Moses, th, 2200.0).oaa().expect("feasible")
-            })
+            .map(|&th| LatencyGrid::sweep(&t, Service::Moses, th, 2200.0).oaa().expect("feasible"))
             .collect();
         let min_cores = oaas.iter().map(|p| p.cores).min().unwrap();
         let max_cores = oaas.iter().map(|p| p.cores).max().unwrap();
-        assert!(
-            max_cores - min_cores <= 3,
-            "OAA cores should barely move with threads: {oaas:?}"
-        );
+        assert!(max_cores - min_cores <= 3, "OAA cores should barely move with threads: {oaas:?}");
     }
 
     #[test]

@@ -178,8 +178,7 @@ pub fn evaluate(params: &ServiceParams, input: &PerfInput) -> PerfOutcome {
     let mem_us = mpr * stall_per_miss_us * input.mem_stall.max(1.0);
 
     let cs = if input.logical_cores > 0 && input.threads > input.logical_cores {
-        1.0 + CS_OVERHEAD_PER_THREAD
-            * (input.threads as f64 / input.logical_cores as f64 - 1.0)
+        1.0 + CS_OVERHEAD_PER_THREAD * (input.threads as f64 / input.logical_cores as f64 - 1.0)
     } else {
         1.0
     };
@@ -353,11 +352,19 @@ mod tests {
         let p = Service::Moses.params();
         let base = evaluate(
             p,
-            &PerfInput { threads: 10, logical_cores: 10, ..PerfInput::solo(10, 1200.0, 10.0, 45.0) },
+            &PerfInput {
+                threads: 10,
+                logical_cores: 10,
+                ..PerfInput::solo(10, 1200.0, 10.0, 45.0)
+            },
         );
         let over = evaluate(
             p,
-            &PerfInput { threads: 32, logical_cores: 10, ..PerfInput::solo(32, 1200.0, 10.0, 45.0) },
+            &PerfInput {
+                threads: 32,
+                logical_cores: 10,
+                ..PerfInput::solo(32, 1200.0, 10.0, 45.0)
+            },
         );
         assert!(over.p95_ms > base.p95_ms, "oversubscription must cost something");
         assert!(over.p95_ms < base.p95_ms * 3.0, "but not move the cliff dramatically");

@@ -2,11 +2,10 @@
 //! places analytic services on a [`Topology`], resolves cross-service
 //! contention to a fixed point each tick, and synthesizes Table-3 counters.
 
-
 use crate::perf::{self, PerfInput, PerfOutcome};
 use crate::{Service, ServiceParams};
 use osml_platform::{
-    Allocation, AppId, CounterSample, CoreSet, LatencyStats, PlatformError, Substrate, Topology,
+    Allocation, AppId, CoreSet, CounterSample, LatencyStats, PlatformError, Substrate, Topology,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -295,11 +294,8 @@ impl SimServer {
                     }
                 }
                 let share = if total_weight > 0.0 { my_weight / total_weight } else { 1.0 };
-                let sibling_busy = self
-                    .topo
-                    .sibling_of(core)
-                    .map(|s| busy.contains(s))
-                    .unwrap_or(false);
+                let sibling_busy =
+                    self.topo.sibling_of(core).map(|s| busy.contains(s)).unwrap_or(false);
                 let yield_factor = if sibling_busy { HT_SHARED_YIELD } else { 1.0 };
                 eff += share * yield_factor;
                 holder_sum += holders as f64;
@@ -485,9 +481,7 @@ mod tests {
     #[test]
     fn solo_service_meets_qos_with_ample_resources() {
         let mut s = SimServer::deterministic();
-        let id = s
-            .launch(LaunchSpec::new(Service::Xapian, 3000.0), alloc(0..12, 0, 16))
-            .unwrap();
+        let id = s.launch(LaunchSpec::new(Service::Xapian, 3000.0), alloc(0..12, 0, 16)).unwrap();
         s.advance(2.0);
         let lat = s.latency(id).unwrap();
         assert!(!lat.violates_qos(), "p95 {} > {}", lat.p95_ms, lat.qos_target_ms);

@@ -42,7 +42,11 @@ fn main() {
     }
 
     cluster.run(60.0);
-    println!("\nafter settling: {} total scheduling actions, {} migrations", cluster.total_actions(), cluster.migrations());
+    println!(
+        "\nafter settling: {} total scheduling actions, {} migrations",
+        cluster.total_actions(),
+        cluster.migrations()
+    );
     for node in 0..cluster.len() {
         let on: Vec<String> = cluster.services_on(node).iter().map(|s| s.to_string()).collect();
         println!("  node {node}: {}", if on.is_empty() { "idle".into() } else { on.join(", ") });
@@ -50,7 +54,10 @@ fn main() {
     let mut ok = 0;
     for (service, id) in &ids {
         if let Some(r) = cluster.latency_over_target(*id) {
-            println!("  {service:<10} p95/target = {r:.2}x {}", if r <= 1.0 { "" } else { " VIOLATED" });
+            println!(
+                "  {service:<10} p95/target = {r:.2}x {}",
+                if r <= 1.0 { "" } else { " VIOLATED" }
+            );
             ok += (r <= 1.0) as usize;
         }
     }

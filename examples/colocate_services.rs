@@ -20,8 +20,8 @@ fn parse_mix(arg: Option<String>) -> Vec<LaunchSpec> {
     text.split(',')
         .map(|part| {
             let (name, pct) = part.split_once(':').expect("format: service:pct");
-            let service =
-                Service::from_name(name.trim()).unwrap_or_else(|| panic!("unknown service '{name}'"));
+            let service = Service::from_name(name.trim())
+                .unwrap_or_else(|| panic!("unknown service '{name}'"));
             let pct: f64 = pct.trim().parse().expect("load must be a number");
             LaunchSpec::at_percent_load(service, pct)
         })

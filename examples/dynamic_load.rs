@@ -32,7 +32,10 @@ fn main() {
     let mut osml = trained_suite(SuiteConfig::Standard);
     let osml_records = run_timeline(&mut osml, &script, 42);
 
-    println!("\n{:<8} {:>8} {:>12} {:>10} {:>10} {:>10}", "policy", "actions", "peak lat/tgt", "qos frac", "migrations", "last viol");
+    println!(
+        "\n{:<8} {:>8} {:>12} {:>10} {:>10} {:>10}",
+        "policy", "actions", "peak lat/tgt", "qos frac", "migrations", "last viol"
+    );
     for (name, records) in [("parties", &parties_records), ("osml", &osml_records)] {
         let s = TimelineSummary::from_records(name, records);
         println!(

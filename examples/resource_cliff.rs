@@ -58,8 +58,14 @@ fn main() {
     println!();
     match (grid.rcliff(), grid.oaa()) {
         (Some(cliff), Some(oaa)) => {
-            println!("RCliff: <{} cores, {} ways>  (one step below explodes latency)", cliff.cores, cliff.ways);
-            println!("OAA:    <{} cores, {} ways>  (the allocation OSML targets)", oaa.cores, oaa.ways);
+            println!(
+                "RCliff: <{} cores, {} ways>  (one step below explodes latency)",
+                cliff.cores, cliff.ways
+            );
+            println!(
+                "OAA:    <{} cores, {} ways>  (the allocation OSML targets)",
+                oaa.cores, oaa.ways
+            );
             println!("cliff magnitude: {:.0}x across one deprivation step", grid.cliff_magnitude());
             if let Some(bw) = grid.oaa_bandwidth_gbps() {
                 println!("OAA bandwidth requirement: {bw:.1} GB/s");

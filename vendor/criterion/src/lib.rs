@@ -1,0 +1,204 @@
+//! Offline vendored stand-in for the subset of the `criterion` API this
+//! workspace's benches use: [`Criterion`], benchmark groups, `iter` /
+//! `iter_batched`, and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Instead of criterion's statistical machinery, each benchmark is run with
+//! an adaptively chosen iteration count (targeting ~50 ms of wall-clock per
+//! measurement after a short warm-up) and the mean ns/iter is printed. That
+//! is enough to compare kernels before/after a change; it makes no
+//! confidence claims.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        println!("group: {}", name.into());
+        BenchmarkGroup { _criterion: self }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl std::fmt::Display, f: F) {
+        run_benchmark(&name.to_string(), f);
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        run_benchmark(&format!("  {name}"), f);
+        self
+    }
+
+    /// Ends the group (no-op; consumes nothing so groups can be reused).
+    pub fn finish(self) {}
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (accepted, unused).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Measures closures handed to it by a benchmark function.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    result: Option<Measurement>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Measurement {
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+const TARGET: Duration = Duration::from_millis(50);
+const WARMUP: Duration = Duration::from_millis(10);
+
+impl Bencher {
+    /// Measures `f`, called in a tight loop.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up while estimating a per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let est = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let iters = ((TARGET.as_secs_f64() / est.max(1e-9)) as u64).clamp(1, 1_000_000_000);
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let elapsed = start.elapsed();
+        self.result =
+            Some(Measurement { ns_per_iter: elapsed.as_nanos() as f64 / iters as f64, iters });
+    }
+
+    /// Measures `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm-up estimate with a handful of runs.
+        let mut est = 0.0f64;
+        for _ in 0..3 {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            est = est.max(start.elapsed().as_secs_f64());
+        }
+        let iters = ((TARGET.as_secs_f64() / est.max(1e-9)) as u64).clamp(1, 100_000);
+
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.result =
+            Some(Measurement { ns_per_iter: total.as_nanos() as f64 / iters as f64, iters });
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    match bencher.result {
+        Some(m) => {
+            let (value, unit) = humanize(m.ns_per_iter);
+            println!("{name}: {value:.2} {unit}/iter ({} iters)", m.iters);
+        }
+        None => println!("{name}: no measurement recorded"),
+    }
+}
+
+fn humanize(ns: f64) -> (f64, &'static str) {
+    if ns < 1e3 {
+        (ns, "ns")
+    } else if ns < 1e6 {
+        (ns / 1e3, "µs")
+    } else if ns < 1e9 {
+        (ns / 1e6, "ms")
+    } else {
+        (ns / 1e9, "s")
+    }
+}
+
+/// Declares a benchmark group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_a_measurement() {
+        let mut b = Bencher::default();
+        b.iter(|| std::hint::black_box(1 + 1));
+        let m = b.result.expect("measurement");
+        assert!(m.ns_per_iter > 0.0);
+        assert!(m.iters >= 1);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher::default();
+        b.iter_batched(|| vec![0u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.result.is_some());
+    }
+
+    #[test]
+    fn humanize_picks_units() {
+        assert_eq!(humanize(10.0).1, "ns");
+        assert_eq!(humanize(10_000.0).1, "µs");
+        assert_eq!(humanize(10_000_000.0).1, "ms");
+        assert_eq!(humanize(1e10).1, "s");
+    }
+}

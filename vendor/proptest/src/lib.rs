@@ -1,0 +1,249 @@
+//! Offline vendored stand-in for the subset of `proptest` this workspace
+//! uses: the [`proptest!`] macro over range strategies with `prop_map`,
+//! `prop_assume!`, `prop_assert!` and `prop_assert_eq!`.
+//!
+//! No shrinking is performed — a failing case panics with the sampled
+//! inputs in the message so it can be reproduced by hand. Case generation
+//! is deterministic: the RNG is seeded from the test name, so a failure
+//! reproduces on every run.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Marker returned by `prop_assume!` rejections; the runner skips the case.
+#[derive(Debug)]
+pub struct TestCaseSkip;
+
+/// Deterministic per-test RNG handed to strategies.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seeds the RNG from a test-name hash.
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+
+    fn rng(&mut self) -> &mut StdRng {
+        &mut self.0
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter created by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.start..self.end)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// A strategy that always yields clones of one value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Everything tests normally import.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Defines property tests: each `fn` runs `config.cases` times with inputs
+/// sampled from its strategies.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: the config is captured at depth 0
+/// so it can be repeated once per test function.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        ($cfg:expr)
+        $(
+            $(#[$meta:meta])+
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config = $cfg;
+                let mut rng = $crate::TestRng::from_name(stringify!($name));
+                for _case in 0..config.cases {
+                    $(
+                        let $arg = $crate::Strategy::sample(&($strat), &mut rng);
+                    )+
+                    #[allow(clippy::redundant_closure_call)]
+                    let result = (|| -> ::std::result::Result<(), $crate::TestCaseSkip> {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                    // Rejected cases (prop_assume!) are simply skipped.
+                    drop(result);
+                }
+            }
+        )*
+    };
+}
+
+/// Skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseSkip);
+        }
+    };
+}
+
+/// Asserts `cond`, panicking with the formatted message on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Asserts `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(a in 0usize..10, b in -5i32..5, f in 0.25f64..0.75) {
+            prop_assert!(a < 10);
+            prop_assert!((-5..5).contains(&b));
+            prop_assert!((0.25..0.75).contains(&f), "f = {}", f);
+        }
+
+        #[test]
+        fn assume_skips_cases(a in 0usize..10, b in 0usize..10) {
+            prop_assume!(a + b <= 12);
+            prop_assert!(a + b <= 12);
+        }
+
+        #[test]
+        fn trailing_comma_accepted(
+            x in 0u64..(1 << 36),
+        ) {
+            prop_assert_eq!(x >> 36, 0);
+        }
+    }
+
+    #[test]
+    fn prop_map_transforms() {
+        let strat = (0usize..3).prop_map(|i| ["a", "b", "c"][i]);
+        let mut rng = crate::TestRng::from_name("map");
+        for _ in 0..20 {
+            let v = strat.sample(&mut rng);
+            assert!(["a", "b", "c"].contains(&v));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let mut a = crate::TestRng::from_name("same");
+        let mut b = crate::TestRng::from_name("same");
+        let s = 0u64..1000;
+        for _ in 0..10 {
+            assert_eq!(s.sample(&mut a), s.sample(&mut b));
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! Offline vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` for
+//! the vendored serde stand-in.
+//!
+//! Implemented with the standard `proc_macro` API only (no `syn`/`quote`,
+//! which are equally unavailable offline). The parser handles the shapes
+//! this workspace derives:
+//!
+//! * named-field structs,
+//! * tuple structs (newtype structs serialize as their inner value),
+//! * enums with unit, struct and newtype variants (externally tagged, like
+//!   upstream serde).
+//!
+//! Generics and `#[serde(...)]` attributes are unsupported and rejected
+//! with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    /// Named-field struct: field names in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct: number of fields.
+    TupleStruct(usize),
+    /// Unit struct.
+    UnitStruct,
+    /// Enum: `(variant name, variant shape)`.
+    Enum(Vec<(String, VariantShape)>),
+}
+
+enum VariantShape {
+    Unit,
+    Newtype,
+    Struct(Vec<String>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let (name, shape) = match parse(input) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().expect("error tokens");
+        }
+    };
+    let body = match mode {
+        Mode::Serialize => gen_serialize(&name, &shape),
+        Mode::Deserialize => gen_deserialize(&name, &shape),
+    };
+    body.parse().unwrap_or_else(|e| panic!("serde_derive generated invalid Rust: {e}\n{body}"))
+}
+
+/// Parses the deriving item into its name and shape.
+fn parse(input: TokenStream) -> Result<(String, Shape), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" || id.to_string() == "enum" => {
+            let k = id.to_string();
+            i += 1;
+            k
+        }
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => {
+            i += 1;
+            id.to_string()
+        }
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("vendored serde_derive does not support generics (type `{name}`)"));
+    }
+
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace && kind == "struct" => {
+            Ok((name, Shape::Struct(parse_named_fields(g.stream())?)))
+        }
+        Some(TokenTree::Group(g))
+            if g.delimiter() == Delimiter::Parenthesis && kind == "struct" =>
+        {
+            Ok((name, Shape::TupleStruct(count_tuple_fields(g.stream()))))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' && kind == "struct" => {
+            Ok((name, Shape::UnitStruct))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace && kind == "enum" => {
+            Ok((name, Shape::Enum(parse_variants(g.stream())?)))
+        }
+        other => Err(format!("unsupported item body for `{name}`: {other:?}")),
+    }
+}
+
+/// Advances past outer attributes (`#[...]`) and a visibility modifier
+/// (`pub`, `pub(crate)`, ...).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a token stream on top-level commas, tracking `<...>` depth so
+/// generic arguments inside field types do not split fields.
+fn split_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                out.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    for group in split_commas(stream) {
+        let mut i = 0;
+        skip_attrs_and_vis(&group, &mut i);
+        match group.get(i) {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => continue, // trailing comma
+            other => return Err(format!("expected field name, found {other:?}")),
+        }
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_commas(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, VariantShape)>, String> {
+    let mut variants = Vec::new();
+    for group in split_commas(stream) {
+        let mut i = 0;
+        skip_attrs_and_vis(&group, &mut i);
+        let name = match group.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => continue, // trailing comma
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let shape = match group.get(i) {
+            None => VariantShape::Unit,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                VariantShape::Struct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                if count_tuple_fields(g.stream()) != 1 {
+                    return Err(format!(
+                        "vendored serde_derive supports only newtype tuple variants (`{name}`)"
+                    ));
+                }
+                VariantShape::Newtype
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(format!("explicit discriminants unsupported (`{name}`)"));
+            }
+            other => return Err(format!("unsupported variant body for `{name}`: {other:?}")),
+        };
+        variants.push((name, shape));
+    }
+    Ok(variants)
+}
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Struct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push((::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{pushes}::serde::Value::Object(fields)"
+            )
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, vs)| match vs {
+                    VariantShape::Unit => format!(
+                        "Self::{v} => ::serde::Value::Str(::std::string::String::from({v:?})),\n"
+                    ),
+                    VariantShape::Newtype => format!(
+                        "Self::{v}(inner) => ::serde::Value::Object(vec![(\
+                         ::std::string::String::from({v:?}), \
+                         ::serde::Serialize::to_value(inner))]),\n"
+                    ),
+                    VariantShape::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let pushes: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "fields.push((::std::string::String::from({f:?}), \
+                                     ::serde::Serialize::to_value({f})));\n"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "Self::{v} {{ {binds} }} => {{\n\
+                             let mut fields: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::Value)> = ::std::vec::Vec::new();\n{pushes}\
+                             ::serde::Value::Object(vec![(::std::string::String::from({v:?}), \
+                             ::serde::Value::Object(fields))])\n}},\n"
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Struct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::obj_field(v, {f:?})?)?,\n"
+                    )
+                })
+                .collect();
+            format!("::std::result::Result::Ok({name} {{\n{inits}}})")
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| ::serde::DeError::expected(\"array\"))?;\n\
+                 if items.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::DeError::expected(\
+                 \"{n}-element array\"));\n}}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, vs)| matches!(vs, VariantShape::Unit))
+                .map(|(v, _)| format!("{v:?} => return ::std::result::Result::Ok(Self::{v}),\n"))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|(v, vs)| match vs {
+                    VariantShape::Unit => None,
+                    VariantShape::Newtype => Some(format!(
+                        "{v:?} => ::std::result::Result::Ok(Self::{v}(\
+                         ::serde::Deserialize::from_value(payload)?)),\n"
+                    )),
+                    VariantShape::Struct(fields) => {
+                        let inits: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(\
+                                     ::serde::obj_field(payload, {f:?})?)?,\n"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "{v:?} => ::std::result::Result::Ok(Self::{v} {{\n{inits}}}),\n"
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "if let ::std::option::Option::Some(tag) = v.as_str() {{\n\
+                 match tag {{\n{unit_arms}\
+                 _ => return ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"unknown variant `{{tag}}` of {name}\"))),\n}}\n}}\n\
+                 let (tag, payload) = ::serde::enum_tag(v)?;\n\
+                 match tag {{\n{tagged_arms}\
+                 _ => ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"unknown variant `{{tag}}` of {name}\"))),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}
