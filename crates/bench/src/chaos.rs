@@ -1,0 +1,220 @@
+//! Chaos runner: replay a co-location through a [`FaultySubstrate`] and
+//! judge how gracefully the controller degrades (Fig. 17).
+//!
+//! Where [`crate::run_colocation`] asks "does the policy meet QoS on a
+//! perfect machine", this module asks the production question: with MSR
+//! writes failing and counter windows dropping at a configured rate, does
+//! the controller keep every service converging back to QoS — without
+//! panicking and without ever leaving a half-applied layout?
+
+use osml_core::{EventKind, OsmlScheduler};
+use osml_platform::{AppId, FaultPlan, FaultySubstrate, Placement, Scheduler, Substrate};
+use osml_workloads::{LaunchSpec, SimConfig, SimServer};
+use serde::{Deserialize, Serialize};
+
+use crate::scenario::AppReport;
+
+/// Outcome of one chaos co-location run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChaosOutcome {
+    /// The fault plan's transient actuation failure probability (the x-axis
+    /// of Fig. 17).
+    pub actuation_failure_prob: f64,
+    /// Whether every service was accepted at placement.
+    pub all_placed: bool,
+    /// Fraction of services meeting QoS at the end of the run.
+    pub qos_fraction: f64,
+    /// Whether every placed service converged back to QoS compliance.
+    pub converged: bool,
+    /// Mean over the settle phase of the per-tick fraction of services
+    /// meeting QoS (the graceful-degradation signal: it should fall
+    /// smoothly with the fault rate, not cliff).
+    pub qos_compliance_over_time: f64,
+    /// Whether the layout invariants (valid allocations, no core
+    /// double-assignment) held at **every** tick of the run.
+    pub layout_always_valid: bool,
+    /// Faults the substrate injected.
+    pub faults_injected: usize,
+    /// Faults the controller observed (`FaultInjected` events).
+    pub faults_observed: usize,
+    /// Successful retry bursts (`ActuationRetried` events).
+    pub retries: usize,
+    /// Transactional rollbacks (`TransactionAborted` events).
+    pub rollbacks: usize,
+    /// Watchdog quarantines (`FallbackEngaged` events).
+    pub fallbacks_engaged: usize,
+    /// Fallback exits (`Recovered` events).
+    pub recoveries: usize,
+    /// Services still quarantined when the run ended.
+    pub still_in_fallback: usize,
+    /// Total scheduling actions taken.
+    pub actions: usize,
+    /// Per-service steady-state detail.
+    pub apps: Vec<AppReport>,
+}
+
+/// Checks the layout invariants on the current machine state: every
+/// allocation validates against the topology (contiguous non-empty way
+/// masks, in-range cores) and no logical core is assigned to two services.
+/// LLC ways *may* overlap — Algorithm 4 shares them deliberately.
+pub fn layout_invariants_ok<S: Substrate>(server: &S) -> bool {
+    let apps = server.apps();
+    let allocs: Vec<_> =
+        apps.iter().filter_map(|&id| server.allocation(id).map(|a| (id, a))).collect();
+    for (_, a) in &allocs {
+        if a.validate(server.topology()).is_err() {
+            return false;
+        }
+    }
+    for (i, (_, a)) in allocs.iter().enumerate() {
+        for (_, b) in allocs.iter().skip(i + 1) {
+            if a.cores.overlaps(b.cores) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Runs one co-location under a fault plan: services arrive in order, the
+/// scheduler places each, then the machine runs for `settle_ticks` seconds
+/// of 1 Hz monitoring with faults injected per `plan`. Layout invariants
+/// are asserted every tick.
+pub fn run_chaos_colocation(
+    scheduler: &mut OsmlScheduler,
+    specs: &[LaunchSpec],
+    settle_ticks: usize,
+    seed: u64,
+    plan: FaultPlan,
+) -> ChaosOutcome {
+    let prob = plan.profile.actuation_failure_prob;
+    let inner = SimServer::new(SimConfig { noise_sigma: 0.0, seed, ..SimConfig::default() });
+    let mut server = FaultySubstrate::new(inner, plan);
+
+    let mut ids: Vec<AppId> = Vec::new();
+    let mut all_placed = true;
+    let mut layout_always_valid = true;
+    for &spec in specs {
+        let alloc = osml_core::bootstrap_allocation(&mut server, spec.threads);
+        let id = server.inner_mut().launch(spec, alloc).expect("bootstrap allocation is valid");
+        server.advance(1.0);
+        match scheduler.on_arrival(&mut server, id) {
+            Placement::Placed => ids.push(id),
+            Placement::Rejected => {
+                let _ = server.remove(id);
+                scheduler.on_departure(id);
+                all_placed = false;
+            }
+        }
+        layout_always_valid &= layout_invariants_ok(&server);
+    }
+
+    let mut compliance_sum = 0.0;
+    for _ in 0..settle_ticks {
+        server.advance(1.0);
+        scheduler.tick(&mut server);
+        layout_always_valid &= layout_invariants_ok(&server);
+        let met = ids
+            .iter()
+            .filter(|&&id| server.latency(id).map(|l| !l.violates_qos()).unwrap_or(false))
+            .count();
+        compliance_sum += met as f64 / ids.len().max(1) as f64;
+    }
+    server.advance(1.0);
+
+    let apps: Vec<AppReport> = ids
+        .iter()
+        .filter_map(|&id| {
+            let lat = server.latency(id)?;
+            let alloc = server.allocation(id)?;
+            let spec = server.inner().spec_of(id)?;
+            Some(AppReport {
+                service: spec.service,
+                offered_rps: spec.offered_rps,
+                p95_ms: lat.p95_ms,
+                qos_ms: lat.qos_target_ms,
+                qos_met: !lat.violates_qos(),
+                cores: alloc.cores.count(),
+                ways: alloc.ways.count(),
+            })
+        })
+        .collect();
+    let met = apps.iter().filter(|a| a.qos_met).count();
+    let log = scheduler.log();
+    ChaosOutcome {
+        actuation_failure_prob: prob,
+        all_placed,
+        qos_fraction: met as f64 / apps.len().max(1) as f64,
+        converged: !apps.is_empty() && met == apps.len(),
+        qos_compliance_over_time: compliance_sum / settle_ticks.max(1) as f64,
+        layout_always_valid,
+        faults_injected: server.fault_count(),
+        faults_observed: log.count_kind(|k| matches!(k, EventKind::FaultInjected { .. })),
+        retries: log.count_kind(|k| matches!(k, EventKind::ActuationRetried { .. })),
+        rollbacks: log.count_kind(|k| matches!(k, EventKind::TransactionAborted { .. })),
+        fallbacks_engaged: log.count_kind(|k| matches!(k, EventKind::FallbackEngaged { .. })),
+        recoveries: log.count_kind(|k| matches!(k, EventKind::Recovered { .. })),
+        still_in_fallback: ids.iter().filter(|&&id| scheduler.in_fallback(id)).count(),
+        actions: scheduler.action_count(),
+        apps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::{trained_suite, SuiteConfig};
+    use osml_platform::FaultProfile;
+    use osml_workloads::Service;
+
+    #[test]
+    fn zero_fault_chaos_run_matches_plain_run() {
+        let specs = [
+            LaunchSpec::at_percent_load(Service::Moses, 30.0),
+            LaunchSpec::at_percent_load(Service::ImgDnn, 30.0),
+        ];
+        let template = trained_suite(SuiteConfig::Standard);
+
+        let mut plain = template.clone();
+        let plain_out = crate::run_colocation(&mut plain, &specs, 30, 3);
+
+        let mut chaotic = template.clone();
+        let chaos_out = run_chaos_colocation(&mut chaotic, &specs, 30, 3, FaultPlan::none());
+
+        assert_eq!(chaos_out.faults_injected, 0);
+        assert_eq!(chaos_out.faults_observed, 0);
+        assert_eq!(chaos_out.retries, 0);
+        assert_eq!(chaos_out.rollbacks, 0);
+        assert_eq!(chaos_out.fallbacks_engaged, 0);
+        assert!(chaos_out.layout_always_valid);
+        // Bit-identical control path: same decisions, same event log, same
+        // final allocations.
+        assert_eq!(plain.log(), chaotic.log());
+        assert_eq!(chaos_out.actions, plain_out.actions);
+        for (a, b) in plain_out.apps.iter().zip(&chaos_out.apps) {
+            assert_eq!(a.cores, b.cores);
+            assert_eq!(a.ways, b.ways);
+            assert_eq!(a.p95_ms, b.p95_ms);
+        }
+    }
+
+    #[test]
+    fn default_chaos_profile_converges_without_invalid_layouts() {
+        let specs = [
+            LaunchSpec::at_percent_load(Service::Moses, 30.0),
+            LaunchSpec::at_percent_load(Service::ImgDnn, 30.0),
+        ];
+        let mut osml = trained_suite(SuiteConfig::Standard);
+        let out = run_chaos_colocation(
+            &mut osml,
+            &specs,
+            60,
+            3,
+            FaultPlan::new(0xC4A05, FaultProfile::chaos_default()),
+        );
+        assert!(out.all_placed, "{out:?}");
+        assert!(out.layout_always_valid, "a half-applied layout escaped");
+        assert!(out.faults_injected > 0, "5%/2% over 60 ticks must inject something");
+        assert!(out.converged, "services must converge back to QoS: {:?}", out.apps);
+    }
+}

@@ -35,6 +35,27 @@ pub struct OsmlConfig {
     /// when false, Algorithm 1 skips Model-A/B and leaves the newcomer on
     /// its bootstrap allocation, forcing Model-C to explore from scratch.
     pub placement_via_models: bool,
+    /// Retry budget for transiently failed actuations: one actuation is
+    /// attempted at most `1 + actuation_retry_budget` times before the
+    /// failure is treated as persistent.
+    pub actuation_retry_budget: u32,
+    /// Base of the exponential backoff charged between actuation retries,
+    /// milliseconds (attempt *n* waits `base · 2ⁿ`). Accounting only — the
+    /// simulated clock is driven by the harness.
+    pub retry_backoff_base_ms: f64,
+    /// Consecutive failed/ineffective ML actions on one service before the
+    /// QoS watchdog quarantines the model path and engages the heuristic
+    /// fallback.
+    pub fallback_threshold: u32,
+    /// Consecutive healthy ticks (QoS met, no fresh faults) a quarantined
+    /// service must accumulate before the ML path is re-engaged.
+    pub fallback_recovery_ticks: u32,
+    /// Seconds after the last observed platform fault during which the
+    /// watchdog also counts *ineffective* (withdrawn) ML actions toward the
+    /// fallback threshold. Outside this window a withdrawal is ordinary
+    /// Model-C exploration, so a fault-free run never engages fallback and
+    /// stays bit-identical to the pre-resilience controller.
+    pub fault_attention_s: f64,
 }
 
 impl Default for OsmlConfig {
@@ -49,6 +70,11 @@ impl Default for OsmlConfig {
             online_learning: true,
             withdraw_ineffective_growth: true,
             placement_via_models: true,
+            actuation_retry_budget: 3,
+            retry_backoff_base_ms: 1.0,
+            fallback_threshold: 3,
+            fallback_recovery_ticks: 8,
+            fault_attention_s: 30.0,
         }
     }
 }
@@ -69,6 +95,16 @@ mod tests {
         assert_eq!(c.surplus_margin, 2);
         assert!(c.manage_bandwidth);
         assert!(c.online_learning);
+    }
+
+    #[test]
+    fn resilience_defaults_are_sane() {
+        let c = OsmlConfig::default();
+        assert!(c.actuation_retry_budget >= 1, "at least one retry or nothing is transient");
+        assert!(c.retry_backoff_base_ms > 0.0);
+        assert!(c.fallback_threshold >= 2, "a single withdrawal must not quarantine the models");
+        assert!(c.fallback_recovery_ticks >= 1);
+        assert!(c.fault_attention_s > 0.0);
     }
 
     #[test]

@@ -62,6 +62,38 @@ pub enum EventKind {
     MigrationRequested,
     /// MBA throttles were re-partitioned (§V-B bandwidth scheduling).
     BandwidthRepartitioned,
+    /// The platform injected (or surfaced) a fault the controller observed:
+    /// a failed actuation or an invalid/dropped counter window.
+    FaultInjected {
+        /// Whether the fault was transient (retryable).
+        transient: bool,
+    },
+    /// A transient actuation failure was retried until success.
+    ActuationRetried {
+        /// Total attempts including the final successful one.
+        attempts: u32,
+        /// Total backoff charged across the retries, milliseconds.
+        backoff_ms: f64,
+    },
+    /// A compound allocation move failed persistently and every service it
+    /// touched was restored to the last-known-good layout.
+    TransactionAborted {
+        /// Services restored by the rollback.
+        services: usize,
+    },
+    /// The QoS watchdog quarantined the ML path for this service and engaged
+    /// the conservative heuristic fallback.
+    FallbackEngaged {
+        /// Consecutive failed/ineffective ML actions that tripped the
+        /// watchdog.
+        failures: u32,
+    },
+    /// The service left fallback: the platform looks healthy again and QoS
+    /// has been met long enough to re-trust the ML path.
+    Recovered {
+        /// Consecutive healthy ticks observed before re-engaging the models.
+        healthy_ticks: u32,
+    },
 }
 
 /// A timestamped log entry.

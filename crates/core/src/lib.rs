@@ -36,6 +36,7 @@ mod config;
 mod events;
 mod layout;
 mod osml;
+mod resilience;
 
 pub use bootstrap::bootstrap_allocation;
 pub use cluster::{Cluster, ClusterPlacement, ServiceHandle};

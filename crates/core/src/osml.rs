@@ -1,4 +1,5 @@
 use crate::layout::{free_way_run_after_repack, repack_ways_with_last};
+use crate::resilience::Retrying;
 use crate::{EventKind, EventLog, OsmlConfig};
 use osml_models::{Action, ModelA, ModelB, ModelBPrime, ModelC, OaaPrediction};
 use osml_platform::{
@@ -65,6 +66,17 @@ struct AppRecord {
     migration_requested: bool,
     /// Consecutive ticks the service has been in (guarded) violation.
     violation_ticks: usize,
+    /// Last valid counter window: dropped/corrupt samples degrade to this
+    /// so the models never ingest NaN or a missing window.
+    last_good: Option<CounterSample>,
+    /// Watchdog strikes: consecutive failed (or, while the platform is
+    /// unhealthy, ineffective) ML actions on this service.
+    failed_ml_actions: u32,
+    /// Whether the ML path is quarantined and the heuristic fallback is
+    /// driving the service.
+    fallback: bool,
+    /// Consecutive healthy ticks accumulated toward leaving fallback.
+    fallback_ok_ticks: u32,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,12 +110,30 @@ pub struct OsmlScheduler {
     records: BTreeMap<AppId, AppRecord>,
     log: EventLog,
     actions: usize,
+    /// Simulated time of the most recent observed platform fault, feeding
+    /// the watchdog's "platform unhealthy" attention window.
+    last_fault_s: Option<f64>,
+    /// Cumulative count of persistent (budget-exhausted) actuation
+    /// failures; transactions compare before/after to decide rollback.
+    persistent_failures: u32,
+    /// Transaction nesting depth: only the outermost [`Self::transact`]
+    /// snapshots and rolls back.
+    txn_depth: u32,
 }
 
 impl OsmlScheduler {
     /// Creates a scheduler from trained models.
     pub fn new(models: Models, config: OsmlConfig) -> Self {
-        OsmlScheduler { config, models, records: BTreeMap::new(), log: EventLog::new(), actions: 0 }
+        OsmlScheduler {
+            config,
+            models,
+            records: BTreeMap::new(),
+            log: EventLog::new(),
+            actions: 0,
+            last_fault_s: None,
+            persistent_failures: 0,
+            txn_depth: 0,
+        }
     }
 
     /// Replaces the configuration (builder-style; used by the ablation
@@ -129,18 +159,133 @@ impl OsmlScheduler {
         &mut self.models
     }
 
+    /// Whether `id` is currently driven by the heuristic fallback instead
+    /// of the ML models (the QoS watchdog quarantined the model path).
+    pub fn in_fallback(&self, id: AppId) -> bool {
+        self.records.get(&id).map(|r| r.fallback).unwrap_or(false)
+    }
+
     // ------------------------------------------------------------------
     // Plumbing
     // ------------------------------------------------------------------
 
     /// Executes one allocation change, counting it as a scheduling action.
-    fn apply<S: Substrate>(&mut self, server: &mut S, id: AppId, alloc: Allocation) -> bool {
-        match server.reallocate(id, alloc) {
+    /// Transient failures were already retried by the [`Retrying`] wrapper;
+    /// a transient error here means the whole budget was exhausted, which
+    /// counts as a watchdog strike against the target service.
+    fn apply<S: Substrate>(
+        &mut self,
+        server: &mut Retrying<'_, S>,
+        id: AppId,
+        alloc: Allocation,
+    ) -> bool {
+        let result = server.reallocate(id, alloc);
+        self.note_faults(server);
+        match result {
             Ok(()) => {
                 self.actions += 1;
                 true
             }
-            Err(_) => false,
+            Err(e) => {
+                if e.is_transient() {
+                    if let Some(rec) = self.records.get_mut(&id) {
+                        rec.failed_ml_actions += 1;
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    /// Drains the retry wrapper's observations into the event log and the
+    /// watchdog's health state.
+    fn note_faults<S: Substrate>(&mut self, server: &mut Retrying<'_, S>) {
+        let stats = server.take_stats();
+        if stats.is_empty() {
+            return;
+        }
+        let now = server.now();
+        if !stats.faults.is_empty() {
+            self.last_fault_s = Some(now);
+        }
+        for app in stats.faults {
+            self.log.push(now, Some(app), EventKind::FaultInjected { transient: true });
+        }
+        for (app, attempts, backoff_ms) in stats.retried {
+            self.log.push(now, Some(app), EventKind::ActuationRetried { attempts, backoff_ms });
+        }
+        self.persistent_failures += stats.persistent;
+    }
+
+    /// Whether a platform fault was observed recently enough that the
+    /// watchdog should treat ineffective ML actions as suspect.
+    fn platform_unhealthy(&self, now: f64) -> bool {
+        self.last_fault_s.is_some_and(|t| now - t <= self.config.fault_attention_s)
+    }
+
+    /// Runs a compound allocation move transactionally: if `op` fails *and*
+    /// some actuation inside it failed persistently (retry budget
+    /// exhausted), every service is restored to its layout from before the
+    /// move — a half-applied move under a flaky platform is worse than no
+    /// move. Capacity failures without platform faults do not roll back
+    /// (identical to the pre-resilience controller). Nested calls collapse
+    /// into the outermost transaction.
+    fn transact<'a, S: Substrate>(
+        &mut self,
+        server: &mut Retrying<'a, S>,
+        op: impl FnOnce(&mut Self, &mut Retrying<'a, S>) -> bool,
+    ) -> bool {
+        self.txn_depth += 1;
+        let snapshot: Vec<(AppId, Allocation)> = if self.txn_depth == 1 {
+            server.apps().into_iter().filter_map(|a| server.allocation(a).map(|x| (a, x))).collect()
+        } else {
+            Vec::new()
+        };
+        let persistent_before = self.persistent_failures;
+        let ok = op(self, server);
+        self.txn_depth -= 1;
+        if self.txn_depth > 0 {
+            return ok;
+        }
+        // Repack moves inside `op` bypass `apply`; drain them before judging.
+        self.note_faults(server);
+        if ok || self.persistent_failures == persistent_before {
+            return ok;
+        }
+        let mut restored = 0usize;
+        for (id, alloc) in snapshot {
+            if server.allocation(id) != Some(alloc) && server.reallocate(id, alloc).is_ok() {
+                restored += 1;
+            }
+        }
+        self.note_faults(server);
+        if restored > 0 {
+            self.log.push(server.now(), None, EventKind::TransactionAborted { services: restored });
+        }
+        false
+    }
+
+    /// Samples `id`, validating the window: a dropped or NaN-poisoned
+    /// sample is logged as a fault and degrades to the last good
+    /// observation, so the models never ingest garbage.
+    fn fresh_sample<S: Substrate>(
+        &mut self,
+        server: &Retrying<'_, S>,
+        id: AppId,
+    ) -> Option<CounterSample> {
+        match server.sample(id) {
+            Some(s) if s.is_valid() => {
+                if let Some(rec) = self.records.get_mut(&id) {
+                    rec.last_good = Some(s);
+                }
+                Some(s)
+            }
+            _ => {
+                let now = server.now();
+                self.log.push(now, Some(id), EventKind::FaultInjected { transient: true });
+                self.last_fault_s = Some(now);
+                self.records.get(&id).and_then(|r| r.last_good)
+            }
         }
     }
 
@@ -154,27 +299,31 @@ impl OsmlScheduler {
 
     /// Allocates `id` a dedicated `<cores, ways>` target if the machine has
     /// room (repacking masks as needed). Returns false if it does not fit.
+    /// Transactional: a persistent actuation failure mid-repack restores
+    /// every touched service instead of leaving a half-applied layout.
     fn try_allocate_dedicated<S: Substrate>(
         &mut self,
-        server: &mut S,
+        server: &mut Retrying<'_, S>,
         id: AppId,
         cores: usize,
         ways: usize,
     ) -> bool {
-        let Some(core_set) = self.pick_cores(server, id, cores) else { return false };
-        if free_way_run_after_repack(server, Some(id)) < ways {
-            return false;
-        }
-        // Pack everyone else to the left, then take the free tail.
-        let _ = repack_ways_with_last(server, None);
-        let Some(mask) = server.find_free_ways(ways, Some(id)) else { return false };
-        let mba = server.allocation(id).map(|a| a.mba).unwrap_or_default();
-        self.apply(server, id, Allocation::new(core_set, mask, mba))
+        self.transact(server, |this, server| {
+            let Some(core_set) = this.pick_cores(server, id, cores) else { return false };
+            if free_way_run_after_repack(server, Some(id)) < ways {
+                return false;
+            }
+            // Pack everyone else to the left, then take the free tail.
+            let _ = repack_ways_with_last(server, None);
+            let Some(mask) = server.find_free_ways(ways, Some(id)) else { return false };
+            let mba = server.allocation(id).map(|a| a.mba).unwrap_or_default();
+            this.apply(server, id, Allocation::new(core_set, mask, mba))
+        })
     }
 
     /// §V-B bandwidth scheduling: partition MBA throttles in proportion to
     /// each service's predicted OAA bandwidth (`BW_j / Σ BW_i`).
-    fn repartition_bandwidth<S: Substrate>(&mut self, server: &mut S) {
+    fn repartition_bandwidth<S: Substrate>(&mut self, server: &mut Retrying<'_, S>) {
         if !self.config.manage_bandwidth {
             return;
         }
@@ -196,11 +345,13 @@ impl OsmlScheduler {
                 if alloc.mba != throttle {
                     alloc.mba = throttle;
                     // MBA reprogramming is not an allocation action in the
-                    // paper's overhead accounting; apply directly.
+                    // paper's overhead accounting; apply directly (retried
+                    // by the wrapper, surfaced by the note_faults drain).
                     let _ = server.reallocate(id, alloc);
                 }
             }
         }
+        self.note_faults(server);
         self.log.push(server.now(), None, EventKind::BandwidthRepartitioned);
     }
 
@@ -208,10 +359,25 @@ impl OsmlScheduler {
     // Algorithm 1: placement via Model-A, deprivation via Model-B
     // ------------------------------------------------------------------
 
-    fn algorithm_1<S: Substrate>(&mut self, server: &mut S, id: AppId) -> Placement {
+    fn algorithm_1<S: Substrate>(&mut self, server: &mut Retrying<'_, S>, id: AppId) -> Placement {
         // Lines 1-3: profile for the sampling window, consult Model-A.
         server.advance(self.config.sampling_window_s);
-        let Some(sample) = server.sample(id) else { return Placement::Rejected };
+        // A dropped or corrupt profiling window would poison the Model-A
+        // prediction this service keeps until its first clean tick; extend
+        // the profiling phase and re-sample instead (a clean first window
+        // passes through untouched).
+        let mut sample = server.sample(id).filter(CounterSample::is_valid);
+        for _ in 0..3 {
+            if sample.is_some() {
+                break;
+            }
+            let now = server.now();
+            self.log.push(now, Some(id), EventKind::FaultInjected { transient: true });
+            self.last_fault_s = Some(now);
+            server.advance(0.5);
+            sample = server.sample(id).filter(CounterSample::is_valid);
+        }
+        let Some(sample) = sample else { return Placement::Rejected };
         let prediction = self.models.model_a.predict(&sample);
         self.records.insert(
             id,
@@ -223,6 +389,10 @@ impl OsmlScheduler {
                 reclaim_floor: None,
                 migration_requested: false,
                 violation_ticks: 0,
+                last_good: Some(sample),
+                failed_ml_actions: 0,
+                fallback: false,
+                fallback_ok_ticks: 0,
             },
         );
         self.log.push(
@@ -299,10 +469,24 @@ impl OsmlScheduler {
 
     /// Model-B matching (Algorithm 1, lines 8-19): find at most
     /// `max_deprived_apps` neighbours whose B-points cover the deficit,
-    /// preferring fewer victims, then less total deprivation.
+    /// preferring fewer victims, then less total deprivation. Transactional:
+    /// victims are not left deprived if the newcomer's allocation then
+    /// fails persistently.
     fn deprive_and_allocate<S: Substrate>(
         &mut self,
-        server: &mut S,
+        server: &mut Retrying<'_, S>,
+        id: AppId,
+        target_cores: usize,
+        target_ways: usize,
+    ) -> bool {
+        self.transact(server, |this, server| {
+            this.deprive_and_allocate_inner(server, id, target_cores, target_ways)
+        })
+    }
+
+    fn deprive_and_allocate_inner<S: Substrate>(
+        &mut self,
+        server: &mut Retrying<'_, S>,
         id: AppId,
         target_cores: usize,
         target_ways: usize,
@@ -329,7 +513,7 @@ impl OsmlScheduler {
             if server.latency(victim).map(|l| l.qos_slack() < 0.05).unwrap_or(true) {
                 continue;
             }
-            let Some(vs) = server.sample(victim) else { continue };
+            let Some(vs) = self.fresh_sample(server, victim) else { continue };
             let Some(valloc) = server.allocation(victim) else { continue };
             let points = self.models.model_b.predict(&vs, budget);
             // "OSML moves away from the OAA to somewhere close to RCliff
@@ -395,7 +579,7 @@ impl OsmlScheduler {
         // actions will be withdrawn").
         for &(victim, (dc, dw)) in &combo {
             let Some(old) = server.allocation(victim) else { continue };
-            let Some(vsample) = server.sample(victim) else { continue };
+            let Some(vsample) = self.fresh_sample(server, victim) else { continue };
             let mut alloc = old;
             let keep = old.cores.count() - dc;
             alloc.cores =
@@ -429,7 +613,12 @@ impl OsmlScheduler {
     // Algorithm 2: QoS violation -> Model-C growth
     // ------------------------------------------------------------------
 
-    fn algorithm_2<S: Substrate>(&mut self, server: &mut S, id: AppId, sample: CounterSample) {
+    fn algorithm_2<S: Substrate>(
+        &mut self,
+        server: &mut Retrying<'_, S>,
+        id: AppId,
+        sample: CounterSample,
+    ) {
         let Some(alloc) = server.allocation(id) else { return };
         let idle_cores = server.idle_cores().count() + alloc.cores.count();
         let free_ways = free_way_run_after_repack(server, Some(id)).max(alloc.ways.count());
@@ -546,7 +735,12 @@ impl OsmlScheduler {
     // Algorithm 3: surplus -> Model-C reclamation (with rollback)
     // ------------------------------------------------------------------
 
-    fn algorithm_3<S: Substrate>(&mut self, server: &mut S, id: AppId, sample: CounterSample) {
+    fn algorithm_3<S: Substrate>(
+        &mut self,
+        server: &mut Retrying<'_, S>,
+        id: AppId,
+        sample: CounterSample,
+    ) {
         let Some(record) = self.records.get(&id) else { return };
         if record.reclaim_cooldown > 0 {
             return;
@@ -628,7 +822,7 @@ impl OsmlScheduler {
 
     fn algorithm_4<S: Substrate>(
         &mut self,
-        server: &mut S,
+        server: &mut Retrying<'_, S>,
         id: AppId,
         need_cores: usize,
         need_ways: usize,
@@ -672,7 +866,7 @@ impl OsmlScheduler {
             if server.latency(neighbor).map(|l| l.qos_slack() < 0.05).unwrap_or(true) {
                 continue;
             }
-            let Some(ns) = server.sample(neighbor) else { continue };
+            let Some(ns) = self.fresh_sample(server, neighbor) else { continue };
             let Some(nalloc) = server.allocation(neighbor) else { continue };
             if nalloc.ways.count() <= need_ways {
                 continue;
@@ -726,15 +920,50 @@ impl OsmlScheduler {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Heuristic fallback (QoS watchdog quarantine)
+    // ------------------------------------------------------------------
+
+    /// The conservative policy driving a quarantined service: one-step
+    /// grant toward the stored OAA from idle resources only. No model is
+    /// consulted, no neighbour is deprived, nothing is reclaimed — under a
+    /// misbehaving platform the safe direction is toward the allocation
+    /// Model-A considered sufficient, one unit at a time.
+    fn heuristic_grow<S: Substrate>(&mut self, server: &mut Retrying<'_, S>, id: AppId) {
+        let Some(alloc) = server.allocation(id) else { return };
+        let Some(record) = self.records.get(&id) else { return };
+        let oaa = record.prediction.oaa;
+        let idle_cores = server.idle_cores().count() + alloc.cores.count();
+        let free_ways = free_way_run_after_repack(server, Some(id)).max(alloc.ways.count());
+        let cur_cores = alloc.cores.count();
+        let cur_ways = alloc.ways.count();
+        let want_cores = (cur_cores + 1).min(oaa.cores.max(cur_cores)).min(idle_cores);
+        let want_ways = (cur_ways + 1).min(oaa.ways.max(cur_ways)).min(free_ways);
+        if want_cores <= cur_cores && want_ways <= cur_ways {
+            return;
+        }
+        let (want_cores, want_ways) = (want_cores.max(cur_cores), want_ways.max(cur_ways));
+        if self.try_allocate_dedicated(server, id, want_cores, want_ways) {
+            self.log.push(
+                server.now(),
+                Some(id),
+                EventKind::Grew {
+                    dcores: (want_cores as i32) - (cur_cores as i32),
+                    dways: (want_ways as i32) - (cur_ways as i32),
+                },
+            );
+        }
+    }
+
     /// Completes a pending Model-C observation: builds the
     /// `<Status, Action, Reward, Status'>` tuple, trains online, and
     /// withdraws actions that did not pay off — reclamations that broke QoS
     /// (Algorithm 3, lines 7-9) and growths that burned resources without
     /// improving a still-violating service.
-    fn settle_pending<S: Substrate>(&mut self, server: &mut S, id: AppId) {
+    fn settle_pending<S: Substrate>(&mut self, server: &mut Retrying<'_, S>, id: AppId) {
         let Some(record) = self.records.get_mut(&id) else { return };
         let Some(pending) = record.pending.take() else { return };
-        let Some(after) = server.sample(id) else { return };
+        let Some(after) = self.fresh_sample(server, id) else { return };
         self.models.model_c.observe(&pending.before, pending.action, &after);
         if self.config.online_learning {
             self.models.model_c.train_step();
@@ -744,7 +973,14 @@ impl OsmlScheduler {
             PendingKind::Reclaim => {
                 if violated && self.apply(server, id, pending.rollback) {
                     self.log.push(server.now(), Some(id), EventKind::RolledBack);
+                    // While the platform is misbehaving, a reclaim that
+                    // broke QoS counts against the model path: the decision
+                    // was made on suspect data.
+                    let strike = self.platform_unhealthy(server.now());
                     if let Some(rec) = self.records.get_mut(&id) {
+                        if strike {
+                            rec.failed_ml_actions += 1;
+                        }
                         rec.reclaim_cooldown = RECLAIM_COOLDOWN_TICKS;
                         // This holding is proven minimal for the current
                         // load: stop probing until the workload changes.
@@ -764,8 +1000,16 @@ impl OsmlScheduler {
                     < pending.before.response_latency_ms * GROWTH_IMPROVEMENT_FACTOR;
                 if violated && !improved && self.apply(server, id, pending.rollback) {
                     self.log.push(server.now(), Some(id), EventKind::RolledBack);
+                    // An ineffective growth is ordinary Model-C exploration
+                    // on a healthy platform, but a watchdog strike while
+                    // faults are fresh — this gate is what keeps fault-free
+                    // runs bit-identical to the pre-resilience controller.
+                    let strike = self.platform_unhealthy(server.now());
                     if let Some(rec) = self.records.get_mut(&id) {
                         rec.blocked.push((pending.action, BLOCKED_ACTION_TICKS));
+                        if strike {
+                            rec.failed_ml_actions += 1;
+                        }
                     }
                 }
             }
@@ -779,10 +1023,23 @@ impl Scheduler for OsmlScheduler {
     }
 
     fn on_arrival<S: Substrate>(&mut self, server: &mut S, id: AppId) -> Placement {
-        self.algorithm_1(server, id)
+        let mut server = Retrying::new(
+            server,
+            self.config.actuation_retry_budget,
+            self.config.retry_backoff_base_ms,
+        );
+        let placement = self.algorithm_1(&mut server, id);
+        self.note_faults(&mut server);
+        placement
     }
 
     fn tick<S: Substrate>(&mut self, server: &mut S) {
+        let mut server = Retrying::new(
+            server,
+            self.config.actuation_retry_budget,
+            self.config.retry_backoff_base_ms,
+        );
+        let server = &mut server;
         for record in self.records.values_mut() {
             record.reclaim_cooldown = record.reclaim_cooldown.saturating_sub(1);
             for entry in &mut record.blocked {
@@ -794,12 +1051,46 @@ impl Scheduler for OsmlScheduler {
         let ids = server.apps();
         for id in ids {
             self.settle_pending(server, id);
-            let (Some(lat), Some(sample)) = (server.latency(id), server.sample(id)) else {
-                continue;
-            };
-            let Some(record) = self.records.get_mut(&id) else {
+            let Some(lat) = server.latency(id) else { continue };
+            if !self.records.contains_key(&id) {
                 continue; // not yet through Algorithm 1
+            }
+            let Some(sample) = self.fresh_sample(server, id) else {
+                continue; // no valid window yet (dropped since arrival)
             };
+            let now = server.now();
+            let unhealthy = self.platform_unhealthy(now);
+            // QoS watchdog: too many failed (or, under a misbehaving
+            // platform, ineffective) ML actions quarantine the model path.
+            let record = self.records.get_mut(&id).expect("checked above");
+            if !record.fallback && record.failed_ml_actions >= self.config.fallback_threshold {
+                record.fallback = true;
+                record.fallback_ok_ticks = 0;
+                let failures = record.failed_ml_actions;
+                self.log.push(now, Some(id), EventKind::FallbackEngaged { failures });
+            }
+            let record = self.records.get_mut(&id).expect("checked above");
+            if record.fallback {
+                let violating = guarded_violation(&lat);
+                if !violating && !unhealthy {
+                    record.fallback_ok_ticks += 1;
+                    if record.fallback_ok_ticks >= self.config.fallback_recovery_ticks {
+                        let healthy_ticks = record.fallback_ok_ticks;
+                        record.fallback = false;
+                        record.failed_ml_actions = 0;
+                        record.fallback_ok_ticks = 0;
+                        record.violation_ticks = 0;
+                        self.log.push(now, Some(id), EventKind::Recovered { healthy_ticks });
+                    }
+                } else {
+                    record.fallback_ok_ticks = 0;
+                    if violating {
+                        record.violation_ticks += 1;
+                        self.heuristic_grow(server, id);
+                    }
+                }
+                continue;
+            }
             // Keep Model-A's view fresh: the profiling module forwards the
             // current counters every second (§V-B), so predictions made
             // from a noisy arrival sample self-correct once the service
@@ -816,6 +1107,9 @@ impl Scheduler for OsmlScheduler {
                 if let Some(rec) = self.records.get_mut(&id) {
                     rec.migration_requested = false;
                     rec.violation_ticks = 0;
+                    // QoS met through the ML path: the action streak is
+                    // healthy again.
+                    rec.failed_ml_actions = 0;
                 }
                 self.algorithm_3(server, id, sample);
             }
@@ -823,6 +1117,7 @@ impl Scheduler for OsmlScheduler {
         if self.actions != actions_before {
             self.repartition_bandwidth(server);
         }
+        self.note_faults(server);
     }
 
     fn on_departure(&mut self, id: AppId) {

@@ -53,4 +53,4 @@ mod trainer;
 pub use matrix::Matrix;
 pub use mlp::{Mlp, MlpConfig};
 pub use optimizer::{Adam, AdamConfig, Sgd};
-pub use trainer::{Metrics, TrainReport, Trainer, TrainerConfig};
+pub use trainer::{Metrics, TrainError, TrainReport, Trainer, TrainerConfig};

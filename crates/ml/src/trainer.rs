@@ -32,6 +32,62 @@ impl Default for TrainerConfig {
     }
 }
 
+/// A training or evaluation request the trainer cannot satisfy without
+/// emitting NaN (or panicking). Returned by [`Trainer::try_fit`] and
+/// [`Metrics::try_evaluate`]; the panicking [`Trainer::fit`] /
+/// [`Metrics::evaluate`] wrappers surface the same conditions as messages.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TrainError {
+    /// `x` and `y` have different numbers of rows.
+    RowCountMismatch {
+        /// Rows in the feature matrix.
+        x_rows: usize,
+        /// Rows in the label matrix.
+        y_rows: usize,
+    },
+    /// The dataset has zero rows.
+    EmptyDataset,
+    /// `validation_split` holds out every row, leaving nothing to train on.
+    EmptyTrainingSplit {
+        /// The configured split fraction.
+        split: f64,
+        /// Rows that would be held out.
+        held_out: usize,
+        /// Total rows available.
+        rows: usize,
+    },
+    /// The features or labels contain NaN or infinite values, which would
+    /// propagate through every weight on the first update.
+    NonFiniteData,
+    /// The evaluation set has zero rows, so every metric would be `0/0`.
+    EmptyEvaluation,
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::RowCountMismatch { x_rows, y_rows } => {
+                write!(f, "x and y row counts differ (x has {x_rows} rows, y has {y_rows})")
+            }
+            TrainError::EmptyDataset => write!(f, "dataset is empty"),
+            TrainError::EmptyTrainingSplit { split, held_out, rows } => write!(
+                f,
+                "validation_split {split} leaves an empty training split ({held_out} of {rows} \
+                 rows held out); lower the split or provide more data"
+            ),
+            TrainError::NonFiniteData => {
+                write!(f, "dataset contains non-finite values (NaN or infinity)")
+            }
+            TrainError::EmptyEvaluation => {
+                write!(f, "evaluation set is empty; every metric would be 0/0")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
 /// Regression quality metrics on a dataset.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Metrics {
@@ -49,9 +105,24 @@ impl Metrics {
     ///
     /// # Panics
     ///
-    /// Panics if `x` and `y` have different row counts.
+    /// Panics if `x` and `y` have different row counts or the set is empty
+    /// (the typed-error form is [`Metrics::try_evaluate`]).
     pub fn evaluate(mlp: &Mlp, x: &Matrix, y: &Matrix) -> Metrics {
-        assert_eq!(x.rows(), y.rows(), "x and y row counts differ");
+        match Metrics::try_evaluate(mlp, x, y) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Computes metrics of `mlp` on `(x, y)`, returning a typed error for
+    /// the inputs on which [`Metrics::evaluate`] would panic or emit NaN.
+    pub fn try_evaluate(mlp: &Mlp, x: &Matrix, y: &Matrix) -> Result<Metrics, TrainError> {
+        if x.rows() != y.rows() {
+            return Err(TrainError::RowCountMismatch { x_rows: x.rows(), y_rows: y.rows() });
+        }
+        if x.rows() == 0 {
+            return Err(TrainError::EmptyEvaluation);
+        }
         let pred = mlp.forward_batch(x);
         let mut abs_sum = 0.0f64;
         let mut sq_sum = 0.0f64;
@@ -65,11 +136,11 @@ impl Metrics {
                 within += 1;
             }
         }
-        Metrics {
+        Ok(Metrics {
             mae: abs_sum / n as f64,
             rmse: (sq_sum / n as f64).sqrt(),
             within_one: within as f64 / n as f64,
-        }
+        })
     }
 }
 
@@ -101,23 +172,48 @@ impl Trainer {
     /// # Panics
     ///
     /// Panics if `x` and `y` have different row counts, the dataset is
-    /// empty, or `validation_split` is so large the training split would be
-    /// empty (e.g. a split of 1.0, or 0.9 on a 10-row dataset).
+    /// empty or contains non-finite values, or `validation_split` is so
+    /// large the training split would be empty (e.g. a split of 1.0, or 0.9
+    /// on a 10-row dataset). The typed-error form is [`Trainer::try_fit`].
     pub fn fit<L: Loss>(&self, mlp: &mut Mlp, x: &Matrix, y: &Matrix, loss: &L) -> TrainReport {
-        assert_eq!(x.rows(), y.rows(), "x and y row counts differ");
-        assert!(x.rows() > 0, "dataset is empty");
+        match self.try_fit(mlp, x, y, loss) {
+            Ok(report) => report,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Trains `mlp` on `(x, y)`, returning a typed error for the inputs on
+    /// which [`Trainer::fit`] would panic — or worse, silently converge
+    /// every weight to NaN (non-finite features/labels).
+    pub fn try_fit<L: Loss>(
+        &self,
+        mlp: &mut Mlp,
+        x: &Matrix,
+        y: &Matrix,
+        loss: &L,
+    ) -> Result<TrainReport, TrainError> {
+        if x.rows() != y.rows() {
+            return Err(TrainError::RowCountMismatch { x_rows: x.rows(), y_rows: y.rows() });
+        }
+        if x.rows() == 0 {
+            return Err(TrainError::EmptyDataset);
+        }
+        if !x.as_slice().iter().chain(y.as_slice()).all(|v| v.is_finite()) {
+            return Err(TrainError::NonFiniteData);
+        }
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let n = x.rows();
         let mut order: Vec<usize> = (0..n).collect();
         order.shuffle(&mut rng);
 
         let n_val = ((n as f64) * self.config.validation_split) as usize;
-        assert!(
-            n_val < n,
-            "validation_split {} leaves an empty training split ({n_val} of {n} rows \
-             held out); lower the split or provide more data",
-            self.config.validation_split
-        );
+        if n_val >= n {
+            return Err(TrainError::EmptyTrainingSplit {
+                split: self.config.validation_split,
+                held_out: n_val,
+                rows: n,
+            });
+        }
         let (val_idx, train_idx) = order.split_at(n_val);
         let gather = |idx: &[usize], m: &Matrix| -> Matrix {
             let mut out = Matrix::zeros(0, 0);
@@ -147,11 +243,15 @@ impl Trainer {
             epoch_losses.push(loss_sum / batches.max(1) as f64);
         }
 
-        TrainReport {
+        Ok(TrainReport {
             epoch_losses,
-            train_metrics: Metrics::evaluate(mlp, &x_train, &y_train),
-            validation_metrics: (n_val > 0).then(|| Metrics::evaluate(mlp, &x_val, &y_val)),
-        }
+            train_metrics: Metrics::try_evaluate(mlp, &x_train, &y_train)?,
+            validation_metrics: if n_val > 0 {
+                Some(Metrics::try_evaluate(mlp, &x_val, &y_val)?)
+            } else {
+                None
+            },
+        })
     }
 }
 
@@ -264,5 +364,73 @@ mod tests {
         let x = Matrix::zeros(0, 1);
         let y = Matrix::zeros(0, 1);
         let _ = trainer.fit(&mut mlp, &x, &y, &Mse);
+    }
+
+    #[test]
+    fn try_fit_returns_typed_errors_instead_of_panicking() {
+        let mut mlp = Mlp::new(&MlpConfig::new(&[2, 8, 2], 5));
+        let trainer = Trainer::new(TrainerConfig { epochs: 1, ..TrainerConfig::default() });
+
+        let empty = (Matrix::zeros(0, 2), Matrix::zeros(0, 2));
+        assert_eq!(
+            trainer.try_fit(&mut mlp, &empty.0, &empty.1, &Mse).unwrap_err(),
+            TrainError::EmptyDataset
+        );
+
+        let (x, y) = dataset(8);
+        let y_short = Matrix::zeros(4, 2);
+        assert_eq!(
+            trainer.try_fit(&mut mlp, &x, &y_short, &Mse).unwrap_err(),
+            TrainError::RowCountMismatch { x_rows: 8, y_rows: 4 }
+        );
+
+        let all_held_out =
+            Trainer::new(TrainerConfig { epochs: 1, validation_split: 1.0, ..trainer.config });
+        assert!(matches!(
+            all_held_out.try_fit(&mut mlp, &x, &y, &Mse).unwrap_err(),
+            TrainError::EmptyTrainingSplit { held_out: 8, rows: 8, .. }
+        ));
+
+        assert!(trainer.try_fit(&mut mlp, &x, &y, &Mse).is_ok());
+    }
+
+    #[test]
+    fn non_finite_data_is_rejected_before_it_poisons_weights() {
+        let (mut x, y) = dataset(16);
+        x.row_mut(3)[1] = f32::NAN;
+        let mut mlp = Mlp::new(&MlpConfig::new(&[2, 8, 2], 5));
+        let trainer = Trainer::new(TrainerConfig { epochs: 1, ..TrainerConfig::default() });
+        assert_eq!(trainer.try_fit(&mut mlp, &x, &y, &Mse).unwrap_err(), TrainError::NonFiniteData);
+        // A constant-feature window (zero variance) is legal: it trains
+        // without producing NaN anywhere in the report.
+        let x_const = Matrix::zeros(16, 2);
+        let report = trainer.try_fit(&mut mlp, &x_const, &y, &Mse).unwrap();
+        assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
+        assert!(report.train_metrics.mae.is_finite());
+    }
+
+    #[test]
+    fn try_evaluate_rejects_empty_sets() {
+        let mlp = Mlp::new(&MlpConfig::new(&[1, 1], 0));
+        let e = Matrix::zeros(0, 1);
+        assert_eq!(
+            Metrics::try_evaluate(&mlp, &e, &e).unwrap_err(),
+            TrainError::EmptyEvaluation,
+            "evaluate on empty would otherwise report mae = NaN"
+        );
+    }
+
+    #[test]
+    fn train_error_display_is_informative() {
+        let errors: [TrainError; 5] = [
+            TrainError::RowCountMismatch { x_rows: 1, y_rows: 2 },
+            TrainError::EmptyDataset,
+            TrainError::EmptyTrainingSplit { split: 1.0, held_out: 8, rows: 8 },
+            TrainError::NonFiniteData,
+            TrainError::EmptyEvaluation,
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty(), "{e:?}");
+        }
     }
 }

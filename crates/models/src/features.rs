@@ -34,12 +34,24 @@ pub const FEATURE_SCALES: [f64; BASE_FEATURES] = [
 pub const LATENCY_LOG_SCALE: f64 = 5.0;
 
 /// Normalizes the 11 base features of a sample.
+///
+/// Non-finite counters (a torn PMU read that slipped past upstream
+/// validation) are mapped to 0.0 — a single NaN entering a feature vector
+/// would otherwise poison every downstream matmul and, with online
+/// learning, every weight it touches.
 pub fn base_features(sample: &CounterSample) -> Vec<f32> {
     sample
         .model_a_features()
         .iter()
         .zip(FEATURE_SCALES.iter())
-        .map(|(&v, &s)| (v / s) as f32)
+        .map(|(&v, &s)| {
+            let n = (v / s) as f32;
+            if n.is_finite() {
+                n
+            } else {
+                0.0
+            }
+        })
         .collect()
 }
 
@@ -77,9 +89,14 @@ pub fn model_c_state(sample: &CounterSample) -> Vec<f32> {
     v
 }
 
-/// Log-scaled latency feature.
+/// Log-scaled latency feature. NaN and infinite inputs are defused (0.0 and
+/// the scale ceiling respectively) rather than propagated.
 pub fn normalized_latency(latency_ms: f64) -> f32 {
-    ((1.0 + latency_ms.max(0.0)).log10() / LATENCY_LOG_SCALE) as f32
+    if latency_ms.is_nan() {
+        return 0.0;
+    }
+    let n = ((1.0 + latency_ms.max(0.0)).log10() / LATENCY_LOG_SCALE) as f32;
+    n.min(2.0)
 }
 
 /// Width of a Model-B input vector.
@@ -147,5 +164,23 @@ mod tests {
     fn model_b_slowdown_is_passed_through() {
         let v = model_b_input(&sample(), 0.15);
         assert!((v[BASE_FEATURES] - 0.15).abs() < 1e-6);
+    }
+
+    #[test]
+    fn non_finite_counters_never_reach_a_feature_vector() {
+        let poisoned = CounterSample {
+            ipc: f64::NAN,
+            mbl_gbps: f64::INFINITY,
+            response_latency_ms: f64::NAN,
+            ..sample()
+        };
+        for v in model_c_state(&poisoned) {
+            assert!(v.is_finite(), "feature vectors must stay finite, got {v}");
+        }
+        for v in model_b_prime_input(&poisoned, 2, 3) {
+            assert!(v.is_finite());
+        }
+        assert!(normalized_latency(f64::INFINITY).is_finite());
+        assert!(normalized_latency(f64::NAN) == 0.0);
     }
 }

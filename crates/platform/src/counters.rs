@@ -56,6 +56,26 @@ impl CounterSample {
         ]
     }
 
+    /// Whether every counter in the sample is finite and non-negative.
+    ///
+    /// Real `pqos`/PMU reads occasionally return garbage under contention
+    /// (torn MSR reads, wrapped counters); the fault-injection layer models
+    /// that as NaN/negative fields. Consumers must validate before feeding
+    /// a sample to a model — a single NaN poisons every downstream matmul.
+    pub fn is_valid(&self) -> bool {
+        let finite_nonneg = |v: f64| v.is_finite() && v >= 0.0;
+        finite_nonneg(self.ipc)
+            && finite_nonneg(self.llc_misses_per_sec)
+            && finite_nonneg(self.mbl_gbps)
+            && finite_nonneg(self.cpu_usage)
+            && finite_nonneg(self.memory_util_gb)
+            && finite_nonneg(self.virt_memory_gb)
+            && finite_nonneg(self.res_memory_gb)
+            && finite_nonneg(self.llc_occupancy_mb)
+            && finite_nonneg(self.frequency_ghz)
+            && finite_nonneg(self.response_latency_ms)
+    }
+
     /// Names of the features in [`CounterSample::model_a_features`] order.
     pub fn feature_names() -> [&'static str; 11] {
         [
@@ -159,6 +179,19 @@ mod tests {
         assert!(bad.violates_qos());
         assert!((bad.qos_slowdown() - 0.5).abs() < 1e-12);
         assert!(bad.qos_slack() < 0.0);
+    }
+
+    #[test]
+    fn validity_rejects_nan_and_negative_counters() {
+        assert!(sample().is_valid());
+        let nan = CounterSample { ipc: f64::NAN, ..sample() };
+        assert!(!nan.is_valid());
+        let inf = CounterSample { mbl_gbps: f64::INFINITY, ..sample() };
+        assert!(!inf.is_valid());
+        let neg = CounterSample { response_latency_ms: -1.0, ..sample() };
+        assert!(!neg.is_valid());
+        let neg_freq = CounterSample { frequency_ghz: -2.3, ..sample() };
+        assert!(!neg_freq.is_valid());
     }
 
     #[test]

@@ -47,6 +47,59 @@ pub enum PlatformError {
         /// The rejected percentage.
         percent: u8,
     },
+    /// A control-interface write failed at actuation time.
+    ///
+    /// On real hardware this is an MSR write returning `EBUSY`/`EINTR`
+    /// under contention (CAT/MBA class-of-service programming) or
+    /// `sched_setaffinity` racing a dying task. `transient` distinguishes
+    /// glitches worth retrying from hard faults (e.g. the resctrl interface
+    /// disappearing); the fault-injection layer only ever produces
+    /// transient ones.
+    ActuationFailed {
+        /// Whether a retry can reasonably be expected to succeed.
+        transient: bool,
+    },
+}
+
+/// Coarse classification of a [`PlatformError`], driving the controller's
+/// recovery strategy: transient faults are retried, invalid requests are
+/// bugs in the caller's arithmetic (never retried), and unknown-target
+/// errors mean the service raced a departure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorClass {
+    /// Worth retrying with backoff (contention on the control interface).
+    Transient,
+    /// The request itself was malformed; retrying the same call cannot help.
+    InvalidRequest,
+    /// The target service is not (or no longer) registered.
+    UnknownTarget,
+}
+
+impl From<&PlatformError> for ErrorClass {
+    fn from(err: &PlatformError) -> ErrorClass {
+        match err {
+            PlatformError::ActuationFailed { transient: true } => ErrorClass::Transient,
+            PlatformError::UnknownApp { .. } | PlatformError::DuplicateApp { .. } => {
+                ErrorClass::UnknownTarget
+            }
+            // Everything else — and any future variant — is a malformed
+            // request: the conservative class (never retried).
+            _ => ErrorClass::InvalidRequest,
+        }
+    }
+}
+
+impl PlatformError {
+    /// This error's recovery class.
+    pub fn class(&self) -> ErrorClass {
+        ErrorClass::from(self)
+    }
+
+    /// Whether a retry with backoff can reasonably be expected to succeed.
+    /// The controller's retry budget applies only to these errors.
+    pub fn is_transient(&self) -> bool {
+        self.class() == ErrorClass::Transient
+    }
 }
 
 impl fmt::Display for PlatformError {
@@ -68,6 +121,12 @@ impl fmt::Display for PlatformError {
             }
             PlatformError::InvalidThrottle { percent } => {
                 write!(f, "MBA throttle {percent}% is not in 10..=100")
+            }
+            PlatformError::ActuationFailed { transient: true } => {
+                write!(f, "control-interface write failed transiently (retry may succeed)")
+            }
+            PlatformError::ActuationFailed { transient: false } => {
+                write!(f, "control-interface write failed permanently")
             }
         }
     }
@@ -104,9 +163,47 @@ mod tests {
             PlatformError::UnknownApp { id: 7 },
             PlatformError::DuplicateApp { id: 7 },
             PlatformError::InvalidThrottle { percent: 5 },
+            PlatformError::ActuationFailed { transient: true },
+            PlatformError::ActuationFailed { transient: false },
         ];
         for v in variants {
             assert!(!v.to_string().is_empty(), "{v:?}");
         }
+    }
+
+    #[test]
+    fn only_transient_actuation_failures_are_retryable() {
+        assert!(PlatformError::ActuationFailed { transient: true }.is_transient());
+        assert!(!PlatformError::ActuationFailed { transient: false }.is_transient());
+        let permanent = [
+            PlatformError::CoreOutOfRange { core: 1, total: 2 },
+            PlatformError::EmptyCoreSet,
+            PlatformError::WayOutOfRange { way: 3, total: 4 },
+            PlatformError::InvalidWayMask { bits: 0b101 },
+            PlatformError::UnknownApp { id: 7 },
+            PlatformError::DuplicateApp { id: 7 },
+            PlatformError::InvalidThrottle { percent: 5 },
+        ];
+        for e in permanent {
+            assert!(!e.is_transient(), "{e:?} must not be retried");
+        }
+    }
+
+    #[test]
+    fn error_classes_partition_the_variants() {
+        assert_eq!(
+            PlatformError::ActuationFailed { transient: true }.class(),
+            ErrorClass::Transient
+        );
+        assert_eq!(PlatformError::UnknownApp { id: 1 }.class(), ErrorClass::UnknownTarget);
+        assert_eq!(PlatformError::DuplicateApp { id: 1 }.class(), ErrorClass::UnknownTarget);
+        assert_eq!(PlatformError::EmptyCoreSet.class(), ErrorClass::InvalidRequest);
+        assert_eq!(
+            PlatformError::ActuationFailed { transient: false }.class(),
+            ErrorClass::InvalidRequest
+        );
+        // The From impl and the method agree.
+        let e = PlatformError::InvalidThrottle { percent: 5 };
+        assert_eq!(ErrorClass::from(&e), e.class());
     }
 }

@@ -51,6 +51,7 @@
 mod alloc;
 mod counters;
 mod error;
+pub mod faults;
 mod mba;
 mod schedule;
 mod substrate;
@@ -59,7 +60,10 @@ mod ways;
 
 pub use alloc::{Allocation, CoreSet};
 pub use counters::{CounterSample, LatencyStats};
-pub use error::PlatformError;
+pub use error::{ErrorClass, PlatformError};
+pub use faults::{
+    FailWindow, FaultPlan, FaultProfile, FaultRecord, FaultySubstrate, InjectedFault,
+};
 pub use mba::MbaThrottle;
 pub use schedule::{Placement, Scheduler};
 pub use substrate::{AppId, Substrate};

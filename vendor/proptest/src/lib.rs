@@ -110,6 +110,33 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::{Strategy, TestRng};
+
+    /// Strategy for `Vec`s with element values from `element` and a length
+    /// drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// Generates `Vec`s whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
 /// Everything tests normally import.
 pub mod prelude {
     pub use crate::{
@@ -224,6 +251,17 @@ mod tests {
             x in 0u64..(1 << 36),
         ) {
             prop_assert_eq!(x >> 36, 0);
+        }
+    }
+
+    #[test]
+    fn collection_vec_respects_length_and_element_bounds() {
+        let strat = crate::collection::vec(0u8..10, 2..5);
+        let mut rng = crate::TestRng::from_name("vecs");
+        for _ in 0..50 {
+            let v = crate::Strategy::sample(&strat, &mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
         }
     }
 
