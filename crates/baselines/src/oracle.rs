@@ -1,4 +1,5 @@
 use osml_platform::{Allocation, CoreSet, MbaThrottle, Substrate, Topology, WayMask};
+use osml_telemetry::Telemetry;
 use osml_workloads::oaa::LatencyGrid;
 use osml_workloads::{LaunchSpec, SimConfig, SimServer};
 
@@ -36,12 +37,24 @@ pub struct Oracle {
     /// Cap on full-simulation evaluations per query (a safety valve; the
     /// capacity pruning keeps real queries far below it).
     pub max_evaluations: usize,
+    telemetry: Telemetry,
 }
 
 impl Oracle {
     /// Creates an oracle for the paper's testbed.
     pub fn new() -> Self {
-        Oracle { topo: Topology::xeon_e5_2697_v4(), max_evaluations: 20_000 }
+        Oracle {
+            topo: Topology::xeon_e5_2697_v4(),
+            max_evaluations: 20_000,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attaches an observability pipeline: the offline search records its
+    /// per-plan evaluation timings and counts through it.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Candidate `(cores, ways)` shares for one service at one load: the
@@ -88,6 +101,8 @@ impl Oracle {
     /// each service's QoS slack (negative = violating), or `None` if the
     /// plan does not fit the machine at all.
     fn plan_slacks(&self, specs: &[LaunchSpec], plan: &PartitionPlan) -> Option<Vec<f64>> {
+        self.telemetry.counter_add("oracle.evaluations", 1);
+        let _span = self.telemetry.span("oracle.evaluate_us");
         if plan.total_cores() > self.topo.logical_cores()
             || plan.total_ways() > self.topo.llc_ways()
             || plan.shares.iter().any(|&(c, w)| c == 0 || w == 0)
@@ -183,6 +198,8 @@ impl Oracle {
 
     /// Evaluates a concrete partition on the contention-aware simulator.
     fn plan_meets_qos(&self, specs: &[LaunchSpec], plan: &PartitionPlan) -> bool {
+        self.telemetry.counter_add("oracle.evaluations", 1);
+        let _span = self.telemetry.span("oracle.evaluate_us");
         let mut server =
             SimServer::new(SimConfig { topology: self.topo.clone(), noise_sigma: 0.0, seed: 0 });
         let mut next_core = 0usize;
@@ -209,6 +226,7 @@ impl Oracle {
     /// `None` if the exhaustive search proves (up to the evaluation cap)
     /// that none exists.
     pub fn best_partition(&self, specs: &[LaunchSpec]) -> Option<PartitionPlan> {
+        let _span = self.telemetry.span("oracle.search_us");
         if specs.is_empty() {
             return Some(PartitionPlan { shares: Vec::new() });
         }

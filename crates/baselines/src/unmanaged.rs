@@ -1,4 +1,5 @@
 use osml_platform::{Allocation, AppId, Placement, Scheduler, Substrate};
+use osml_telemetry::{ActionKind, AllocSnapshot, Provenance, Telemetry, TraceRecord};
 
 /// The paper's **Unmanaged Allocation** baseline: every service's threads
 /// may run on every core, the LLC and memory bandwidth are uncontrolled,
@@ -6,12 +7,20 @@ use osml_platform::{Allocation, AppId, Placement, Scheduler, Substrate};
 #[derive(Debug, Clone, Default)]
 pub struct Unmanaged {
     actions: usize,
+    telemetry: Telemetry,
 }
 
 impl Unmanaged {
     /// Creates the baseline scheduler.
     pub fn new() -> Self {
         Unmanaged::default()
+    }
+
+    /// Attaches an observability pipeline (write-only; decisions are
+    /// unaffected).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 }
 
@@ -24,6 +33,22 @@ impl Scheduler for Unmanaged {
         let alloc = Allocation::whole_machine(server.topology());
         if server.reallocate(id, alloc).is_ok() {
             self.actions += 1;
+            if self.telemetry.is_enabled() {
+                self.telemetry.trace(TraceRecord {
+                    tick: 0,
+                    time_s: server.now(),
+                    app: Some(id.0),
+                    kind: ActionKind::Place,
+                    provenance: Provenance::Baseline,
+                    pre: None,
+                    post: Some(AllocSnapshot {
+                        cores: alloc.cores.count(),
+                        ways: alloc.ways.count(),
+                    }),
+                    counts_as_action: true,
+                    detail: None,
+                });
+            }
             Placement::Placed
         } else {
             Placement::Rejected

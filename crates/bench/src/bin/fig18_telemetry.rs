@@ -1,0 +1,168 @@
+//! Fig. 18 (this reproduction's extension): the scheduler's own
+//! observability plane. Replays the Fig. 14 dynamic-load timeline with the
+//! telemetry pipeline attached and emits:
+//!
+//! * `results/fig18_telemetry.json` — the metrics snapshot: per-model
+//!   inference timing histograms (p50/p95/p99 µs), actuation timings,
+//!   retry/fault counters and harness gauges;
+//! * `results/fig18_trace.jsonl` — the structured decision trace, one JSON
+//!   record per scheduler decision (grants, deprivations, reclaims,
+//!   rollbacks, fallback transitions, retries) with pre/post allocations
+//!   and model provenance.
+//!
+//! The run asserts the observability contract: the number of trace records
+//! marked `counts_as_action` equals the scheduler's reported
+//! `action_count()` exactly — the trace is complete, not a sample.
+//!
+//! `--smoke` replays a short two-service script instead (CI).
+
+use osml_baselines::Parties;
+use osml_bench::report;
+use osml_bench::suite::{trained_suite, SuiteConfig};
+use osml_bench::timeline::{run_timeline_traced, TimelineSummary};
+use osml_platform::Scheduler;
+use osml_telemetry::{
+    FileSink, MetricsSnapshot, RingBufferSink, Telemetry, TelemetrySink, TraceRecord,
+};
+use osml_workloads::loadgen::{ArrivalEvent, ArrivalScript, LoadSchedule};
+use osml_workloads::Service;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Everything Fig. 18 persists as JSON.
+#[derive(Debug, Serialize)]
+struct Fig18Output {
+    osml: TimelineSummary,
+    parties: TimelineSummary,
+    osml_trace_actions: u64,
+    osml_trace_records: u64,
+    parties_trace_actions: u64,
+    actions_by_kind: BTreeMap<String, usize>,
+    metrics: MetricsSnapshot,
+}
+
+fn smoke_script() -> ArrivalScript {
+    ArrivalScript::new(
+        vec![
+            ArrivalEvent {
+                service: Service::Login,
+                arrive_s: 0.0,
+                depart_s: f64::INFINITY,
+                threads: 8,
+                load: LoadSchedule::Constant { rps: 300.0 },
+            },
+            ArrivalEvent {
+                service: Service::Ads,
+                arrive_s: 5.0,
+                depart_s: 30.0,
+                threads: 8,
+                load: LoadSchedule::Constant { rps: 100.0 },
+            },
+        ],
+        40.0,
+    )
+}
+
+fn kind_histogram(records: &[TraceRecord]) -> BTreeMap<String, usize> {
+    let mut by_kind: BTreeMap<String, usize> = BTreeMap::new();
+    for r in records.iter().filter(|r| r.counts_as_action) {
+        *by_kind.entry(format!("{:?}", r.kind)).or_insert(0) += 1;
+    }
+    by_kind
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let script = if smoke { smoke_script() } else { ArrivalScript::fig14() };
+
+    let trace_path = report::results_dir().join("fig18_trace.jsonl");
+    let sinks: Vec<Box<dyn TelemetrySink>> = vec![
+        Box::new(RingBufferSink::new(65_536)),
+        Box::new(FileSink::create(&trace_path).expect("create trace file")),
+    ];
+    let telemetry = Telemetry::with_sinks(sinks);
+
+    println!("== Fig. 18: scheduler observability (metrics + decision trace) ==\n");
+    let mut osml = trained_suite(SuiteConfig::Standard).with_telemetry(telemetry.clone());
+    let records = run_timeline_traced(&mut osml, &script, 18, &telemetry);
+    let osml_summary = TimelineSummary::from_records("osml", &records);
+    telemetry.flush();
+
+    // The observability contract: every counted action left a trace record.
+    assert_eq!(
+        telemetry.action_trace_count() as usize,
+        osml.action_count(),
+        "decision trace must cover every scheduling action"
+    );
+
+    // The baseline emits through its own pipeline (in-memory only).
+    let parties_telemetry = Telemetry::enabled();
+    let mut parties = Parties::new().with_telemetry(parties_telemetry.clone());
+    let parties_records = run_timeline_traced(&mut parties, &script, 18, &parties_telemetry);
+    let parties_summary = TimelineSummary::from_records("parties", &parties_records);
+    assert_eq!(
+        parties_telemetry.action_trace_count() as usize,
+        parties.action_count(),
+        "baseline trace must cover every scheduling action too"
+    );
+
+    let snapshot = telemetry.snapshot();
+    println!("span timings (µs):");
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (name, h) in &snapshot.histograms {
+        rows.push(vec![
+            name.clone(),
+            h.count.to_string(),
+            h.p50.map(|v| format!("{v:.1}")).unwrap_or_default(),
+            h.p95.map(|v| format!("{v:.1}")).unwrap_or_default(),
+            h.p99.map(|v| format!("{v:.1}")).unwrap_or_default(),
+            h.max.map(|v| format!("{v:.1}")).unwrap_or_default(),
+        ]);
+    }
+    print!("{}", report::render_table(&["span", "count", "p50", "p95", "p99", "max"], &rows));
+
+    // Model-A runs every tick and actuation fires at placement, so those
+    // spans are structural. Model-C only engages on QoS violations or
+    // surplus reclaim, which the short smoke script never provokes.
+    let required: &[&str] = if smoke {
+        &["model.a.predict_us", "actuation.reallocate_us", "harness.tick_us"]
+    } else {
+        &["model.a.predict_us", "model.c.infer_us", "actuation.reallocate_us", "harness.tick_us"]
+    };
+    for span in required {
+        let h = snapshot.histograms.get(*span);
+        assert!(h.is_some_and(|h| h.count > 0), "expected span timings to be populated: {span}");
+    }
+
+    let trace = telemetry.trace_records();
+    let actions_by_kind = kind_histogram(&trace);
+    println!(
+        "\ndecision trace: {} records, {} actions",
+        trace.len(),
+        telemetry.action_trace_count()
+    );
+    for (kind, n) in &actions_by_kind {
+        println!("  {kind:<12} {n}");
+    }
+    println!(
+        "\nosml:    {} actions over {:.0} s (qos fraction {:.3})",
+        osml_summary.total_actions, script.duration_s, osml_summary.qos_fraction
+    );
+    println!(
+        "parties: {} actions over {:.0} s (qos fraction {:.3})",
+        parties_summary.total_actions, script.duration_s, parties_summary.qos_fraction
+    );
+
+    let output = Fig18Output {
+        osml_trace_actions: telemetry.action_trace_count(),
+        osml_trace_records: telemetry.trace_record_count(),
+        parties_trace_actions: parties_telemetry.action_trace_count(),
+        osml: osml_summary,
+        parties: parties_summary,
+        actions_by_kind,
+        metrics: snapshot,
+    };
+    let path = report::save_json("fig18_telemetry", &output);
+    println!("\nsaved {}", path.display());
+    println!("saved {}", trace_path.display());
+}

@@ -90,6 +90,8 @@ pub fn run_chaos_colocation(
     let prob = plan.profile.actuation_failure_prob;
     let inner = SimServer::new(SimConfig { noise_sigma: 0.0, seed, ..SimConfig::default() });
     let mut server = FaultySubstrate::new(inner, plan);
+    // Shares the scheduler's pipeline (cheap Arc clone; inert if disabled).
+    let telemetry = scheduler.telemetry().clone();
 
     let mut ids: Vec<AppId> = Vec::new();
     let mut all_placed = true;
@@ -112,7 +114,10 @@ pub fn run_chaos_colocation(
     let mut compliance_sum = 0.0;
     for _ in 0..settle_ticks {
         server.advance(1.0);
-        scheduler.tick(&mut server);
+        {
+            let _span = telemetry.span("harness.chaos_tick_us");
+            scheduler.tick(&mut server);
+        }
         layout_always_valid &= layout_invariants_ok(&server);
         let met = ids
             .iter()
@@ -140,6 +145,10 @@ pub fn run_chaos_colocation(
         })
         .collect();
     let met = apps.iter().filter(|a| a.qos_met).count();
+    if telemetry.is_enabled() {
+        telemetry.gauge_set("harness.chaos_faults_injected", server.fault_count() as f64);
+        telemetry.gauge_set("harness.chaos_qos_fraction", met as f64 / apps.len().max(1) as f64);
+    }
     let log = scheduler.log();
     ChaosOutcome {
         actuation_failure_prob: prob,

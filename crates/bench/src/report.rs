@@ -4,7 +4,7 @@
 use crate::grid::ColocationGrid;
 use serde::Serialize;
 use std::fmt::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// Renders a co-location heatmap the way the paper's Figs. 10–12 panels
 /// read: rows are the y service's load, columns the x service's load, cells
@@ -51,11 +51,33 @@ pub fn render_grid(grid: &ColocationGrid) -> String {
     out
 }
 
-/// Writes `value` as pretty JSON to `results/<name>.json` (creating the
-/// directory), returning the path. Panics on I/O errors — figure binaries
-/// have nothing useful to do without their output.
+/// The directory figure outputs land in: `$OSML_RESULTS_DIR` when set,
+/// otherwise `<workspace root>/results`. Resolving against the workspace
+/// root (two levels above this crate's manifest) instead of the current
+/// working directory means `cargo run -p osml-bench` writes the same place
+/// no matter where it is invoked from.
+pub fn results_dir() -> PathBuf {
+    results_dir_from(std::env::var_os("OSML_RESULTS_DIR"))
+}
+
+/// [`results_dir`] with the environment override injected (testable without
+/// mutating the process environment).
+fn results_dir_from(env_override: Option<std::ffi::OsString>) -> PathBuf {
+    if let Some(dir) = env_override {
+        return PathBuf::from(dir);
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crate lives two levels under the workspace root")
+        .join("results")
+}
+
+/// Writes `value` as pretty JSON to `<results_dir()>/<name>.json` (creating
+/// the directory), returning the path. Panics on I/O errors — figure
+/// binaries have nothing useful to do without their output.
 pub fn save_json<T: Serialize>(name: &str, value: &T) -> PathBuf {
-    let dir = PathBuf::from("results");
+    let dir = results_dir();
     std::fs::create_dir_all(&dir).expect("create results directory");
     let path = dir.join(format!("{name}.json"));
     let json = serde_json::to_string_pretty(value).expect("serialize result");
@@ -63,19 +85,23 @@ pub fn save_json<T: Serialize>(name: &str, value: &T) -> PathBuf {
     path
 }
 
-/// Renders a simple aligned table from rows of strings.
+/// Renders a simple aligned table from rows of strings. Rows may be wider
+/// than the header row; the extra columns get empty headers instead of
+/// being dropped or panicking.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
-    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    let columns = rows.iter().map(Vec::len).chain([headers.len()]).max().unwrap_or(0);
+    let mut widths = vec![0usize; columns];
+    for (i, h) in headers.iter().enumerate() {
+        widths[i] = h.len();
+    }
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
-            if i < widths.len() {
-                widths[i] = widths[i].max(cell.len());
-            }
+            widths[i] = widths[i].max(cell.len());
         }
     }
     let mut out = String::new();
-    for (i, h) in headers.iter().enumerate() {
-        let _ = write!(out, "{:<w$}  ", h, w = widths[i]);
+    for (i, &w) in widths.iter().enumerate() {
+        let _ = write!(out, "{:<w$}  ", headers.get(i).copied().unwrap_or(""), w = w);
     }
     let _ = writeln!(out);
     let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
@@ -118,5 +144,28 @@ mod tests {
         );
         assert!(text.lines().count() >= 4);
         assert!(text.contains("memcached"));
+    }
+
+    #[test]
+    fn table_keeps_cells_beyond_the_header_count() {
+        let text = render_table(
+            &["service"],
+            &[vec!["moses".into(), "3000".into(), "extra-wide-cell".into()]],
+        );
+        assert!(text.contains("3000"), "cell beyond headers must render:\n{text}");
+        assert!(text.contains("extra-wide-cell"), "all extra cells must render:\n{text}");
+    }
+
+    #[test]
+    fn results_dir_honours_env_override_and_defaults_to_workspace() {
+        // Default: anchored at the workspace root, not the CWD.
+        let default_dir = results_dir();
+        assert!(default_dir.is_absolute(), "must not depend on the CWD: {default_dir:?}");
+        assert!(default_dir.ends_with("results"));
+        assert!(default_dir.parent().unwrap().join("Cargo.toml").exists());
+        // The env override redirects wholesale (injected rather than via
+        // set_var, which is unsound with parallel tests).
+        let overridden = results_dir_from(Some("/tmp/osml-results-override".into()));
+        assert_eq!(overridden, PathBuf::from("/tmp/osml-results-override"));
     }
 }

@@ -4,6 +4,7 @@
 
 use crate::scenario::bootstrap_allocation;
 use osml_platform::{AppId, Placement, Scheduler, Substrate};
+use osml_telemetry::Telemetry;
 use osml_workloads::loadgen::ArrivalScript;
 use osml_workloads::{LaunchSpec, Service, SimConfig, SimServer};
 use serde::{Deserialize, Serialize};
@@ -48,6 +49,20 @@ pub fn run_timeline<Sched: Scheduler>(
     scheduler: &mut Sched,
     script: &ArrivalScript,
     seed: u64,
+) -> Vec<TimelineRecord> {
+    run_timeline_traced(scheduler, script, seed, &Telemetry::disabled())
+}
+
+/// [`run_timeline`] with an observability pipeline attached: the harness
+/// records per-tick wall-clock spans and live-service gauges alongside
+/// whatever the scheduler itself emits. Telemetry is write-only, so the
+/// produced [`TimelineRecord`]s are identical to an untraced run (enforced
+/// by the `telemetry` integration tests).
+pub fn run_timeline_traced<Sched: Scheduler>(
+    scheduler: &mut Sched,
+    script: &ArrivalScript,
+    seed: u64,
+    telemetry: &Telemetry,
 ) -> Vec<TimelineRecord> {
     // Real traces jitter; the default ~2 % log-normal noise keeps schedulers
     // honest (trial-and-error must distinguish real improvements from noise).
@@ -105,7 +120,11 @@ pub fn run_timeline<Sched: Scheduler>(
 
         server.advance(1.0);
         t = server.now();
-        scheduler.tick(&mut server);
+        {
+            let _span = telemetry.span("harness.tick_us");
+            scheduler.tick(&mut server);
+        }
+        telemetry.counter_add("harness.ticks", 1);
 
         // Upper-level scheduler policy: a service in continuous violation
         // for > 30 s is migrated to another node (the fate of Moses under
@@ -155,6 +174,11 @@ pub fn run_timeline<Sched: Scheduler>(
             services,
             migrated: migrated.clone(),
         });
+        if telemetry.is_enabled() {
+            telemetry.gauge_set("harness.live_services", live.len() as f64);
+            telemetry.gauge_set("harness.actions_total", scheduler.action_count() as f64);
+            telemetry.gauge_set("harness.migrations", migrated.len() as f64);
+        }
     }
     records
 }
@@ -171,10 +195,16 @@ pub struct TimelineSummary {
     pub last_violation_s: Option<f64>,
     /// Worst latency-over-target observed.
     pub peak_violation: f64,
-    /// Fraction of (service, second) samples within QoS.
+    /// Fraction of (service, second) samples within QoS. Meaningless when
+    /// [`TimelineSummary::samples`] is zero (reported as 0.0, not a
+    /// vacuous 1.0).
     pub qos_fraction: f64,
     /// Services migrated away.
     pub migrations: usize,
+    /// Number of (service, second) samples behind `qos_fraction`; zero
+    /// means the timeline observed nothing, making the empty case explicit
+    /// instead of masquerading as a perfect run.
+    pub samples: usize,
 }
 
 impl TimelineSummary {
@@ -195,13 +225,18 @@ impl TimelineSummary {
                 peak = peak.max(s.latency_over_target);
             }
         }
+        // `actions` and `migrated` are cumulative per record, but taking
+        // only `records.last()` undercounts if a caller ever summarizes a
+        // truncated or filtered slice; the running maximum is correct for
+        // any record subset.
         TimelineSummary {
             policy: policy.to_owned(),
-            total_actions: records.last().map(|r| r.actions).unwrap_or(0),
+            total_actions: records.iter().map(|r| r.actions).max().unwrap_or(0),
             last_violation_s: last_violation,
             peak_violation: peak,
-            qos_fraction: if total > 0 { ok as f64 / total as f64 } else { 1.0 },
-            migrations: records.last().map(|r| r.migrated.len()).unwrap_or(0),
+            qos_fraction: if total > 0 { ok as f64 / total as f64 } else { 0.0 },
+            migrations: records.iter().map(|r| r.migrated.len()).max().unwrap_or(0),
+            samples: total,
         }
     }
 }
@@ -259,6 +294,37 @@ mod tests {
         assert!(summary.qos_fraction > 0.8, "{summary:?}");
         assert!(summary.peak_violation >= 0.0);
         assert_eq!(summary.migrations, 0);
+        assert!(summary.samples > 0);
+    }
+
+    #[test]
+    fn empty_timeline_summarizes_explicitly() {
+        let summary = TimelineSummary::from_records("none", &[]);
+        assert_eq!(summary.samples, 0, "{summary:?}");
+        assert_eq!(summary.qos_fraction, 0.0, "no samples must not read as a perfect run");
+        assert_eq!(summary.total_actions, 0);
+        assert_eq!(summary.migrations, 0);
+        assert_eq!(summary.last_violation_s, None);
+    }
+
+    #[test]
+    fn summary_totals_survive_record_truncation() {
+        let mut p = Parties::new();
+        let records = run_timeline(&mut p, &light_script(), 6);
+        let full = TimelineSummary::from_records("parties", &records);
+        // Drop the tail (e.g. summarizing a windowed slice): cumulative
+        // totals must come from the maximum seen, not the last element.
+        let head = &records[..records.len() - 5];
+        let truncated = TimelineSummary::from_records("parties", head);
+        assert_eq!(truncated.total_actions, head.iter().map(|r| r.actions).max().unwrap());
+        assert!(truncated.total_actions <= full.total_actions);
+        // And a reversed slice must not change the answer.
+        let mut rev = records.clone();
+        rev.reverse();
+        assert_eq!(
+            TimelineSummary::from_records("parties", &rev).total_actions,
+            full.total_actions
+        );
     }
 
     #[test]

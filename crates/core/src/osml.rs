@@ -6,6 +6,7 @@ use osml_platform::{
     Allocation, AppId, CoreSet, CounterSample, MbaThrottle, Placement, Scheduler, Substrate,
     WayMask,
 };
+use osml_telemetry::{ActionKind, AllocSnapshot, Provenance, Telemetry, TraceOp, TraceRecord};
 use std::collections::BTreeMap;
 
 /// Ticks Algorithm 3 waits after a rollback before reclaiming again.
@@ -119,6 +120,10 @@ pub struct OsmlScheduler {
     /// Transaction nesting depth: only the outermost [`Self::transact`]
     /// snapshots and rolls back.
     txn_depth: u32,
+    /// Ticks executed so far (stamps trace records).
+    ticks: u64,
+    /// Observability pipeline; disabled (free) unless explicitly attached.
+    telemetry: Telemetry,
 }
 
 impl OsmlScheduler {
@@ -133,7 +138,27 @@ impl OsmlScheduler {
             last_fault_s: None,
             persistent_failures: 0,
             txn_depth: 0,
+            ticks: 0,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches an observability pipeline (builder-style). The default is
+    /// [`Telemetry::disabled`], which costs nothing; an enabled pipeline is
+    /// write-only, so decisions are identical either way.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Attaches (or replaces) the observability pipeline in place.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The attached observability pipeline.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Replaces the configuration (builder-style; used by the ablation
@@ -169,6 +194,38 @@ impl OsmlScheduler {
     // Plumbing
     // ------------------------------------------------------------------
 
+    /// Emits one decision-trace record (no-op with telemetry disabled).
+    /// `counts_as_action` is set exactly when [`Self::apply`] incremented
+    /// the action counter, which is what keeps the trace's action count
+    /// equal to [`Scheduler::action_count`] by construction.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_trace(
+        &self,
+        now: f64,
+        app: Option<AppId>,
+        op: TraceOp,
+        pre: Option<Allocation>,
+        post: Option<Allocation>,
+        counts_as_action: bool,
+        detail: Option<String>,
+    ) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let snap = |a: Allocation| AllocSnapshot { cores: a.cores.count(), ways: a.ways.count() };
+        self.telemetry.trace(TraceRecord {
+            tick: self.ticks,
+            time_s: now,
+            app: app.map(|a| a.0),
+            kind: op.kind,
+            provenance: op.provenance,
+            pre: pre.map(snap),
+            post: post.map(snap),
+            counts_as_action,
+            detail,
+        });
+    }
+
     /// Executes one allocation change, counting it as a scheduling action.
     /// Transient failures were already retried by the [`Retrying`] wrapper;
     /// a transient error here means the whole budget was exhausted, which
@@ -178,15 +235,22 @@ impl OsmlScheduler {
         server: &mut Retrying<'_, S>,
         id: AppId,
         alloc: Allocation,
+        op: TraceOp,
     ) -> bool {
-        let result = server.reallocate(id, alloc);
+        let pre = server.allocation(id);
+        let result = {
+            let _span = self.telemetry.span("actuation.reallocate_us");
+            server.reallocate(id, alloc)
+        };
         self.note_faults(server);
         match result {
             Ok(()) => {
                 self.actions += 1;
+                self.emit_trace(server.now(), Some(id), op, pre, Some(alloc), true, None);
                 true
             }
             Err(e) => {
+                self.telemetry.counter_add("scheduler.apply_failures", 1);
                 if e.is_transient() {
                     if let Some(rec) = self.records.get_mut(&id) {
                         rec.failed_ml_actions += 1;
@@ -208,11 +272,24 @@ impl OsmlScheduler {
         if !stats.faults.is_empty() {
             self.last_fault_s = Some(now);
         }
+        self.telemetry.counter_add("resilience.faults_observed", stats.faults.len() as u64);
+        self.telemetry.counter_add("resilience.retries", stats.retried.len() as u64);
+        self.telemetry.counter_add("resilience.persistent_failures", stats.persistent as u64);
         for app in stats.faults {
             self.log.push(now, Some(app), EventKind::FaultInjected { transient: true });
         }
         for (app, attempts, backoff_ms) in stats.retried {
             self.log.push(now, Some(app), EventKind::ActuationRetried { attempts, backoff_ms });
+            self.telemetry.observe("actuation.retry_backoff_us", backoff_ms * 1e3);
+            self.emit_trace(
+                now,
+                Some(app),
+                TraceOp::new(ActionKind::Retry, Provenance::Controller),
+                None,
+                None,
+                false,
+                Some(format!("attempts={attempts} backoff_ms={backoff_ms}")),
+            );
         }
         self.persistent_failures += stats.persistent;
     }
@@ -261,6 +338,15 @@ impl OsmlScheduler {
         self.note_faults(server);
         if restored > 0 {
             self.log.push(server.now(), None, EventKind::TransactionAborted { services: restored });
+            self.emit_trace(
+                server.now(),
+                None,
+                TraceOp::new(ActionKind::Restore, Provenance::Controller),
+                None,
+                None,
+                false,
+                Some(format!("services={restored}")),
+            );
         }
         false
     }
@@ -289,6 +375,12 @@ impl OsmlScheduler {
         }
     }
 
+    /// Model-B′ pricing with its inference span attached.
+    fn price_slowdown(&self, sample: &CounterSample, dcores: usize, dways: usize) -> f64 {
+        let _span = self.telemetry.span("model.b_prime.predict_us");
+        self.models.model_b_prime.predict(sample, dcores, dways)
+    }
+
     /// Picks `n` cores for `id` from the idle pool plus its own cores.
     fn pick_cores<S: Substrate>(&self, server: &S, id: AppId, n: usize) -> Option<CoreSet> {
         let topo = server.topology();
@@ -307,6 +399,7 @@ impl OsmlScheduler {
         id: AppId,
         cores: usize,
         ways: usize,
+        op: TraceOp,
     ) -> bool {
         self.transact(server, |this, server| {
             let Some(core_set) = this.pick_cores(server, id, cores) else { return false };
@@ -317,7 +410,7 @@ impl OsmlScheduler {
             let _ = repack_ways_with_last(server, None);
             let Some(mask) = server.find_free_ways(ways, Some(id)) else { return false };
             let mba = server.allocation(id).map(|a| a.mba).unwrap_or_default();
-            this.apply(server, id, Allocation::new(core_set, mask, mba))
+            this.apply(server, id, Allocation::new(core_set, mask, mba), op)
         })
     }
 
@@ -353,6 +446,15 @@ impl OsmlScheduler {
         }
         self.note_faults(server);
         self.log.push(server.now(), None, EventKind::BandwidthRepartitioned);
+        self.emit_trace(
+            server.now(),
+            None,
+            TraceOp::new(ActionKind::BandwidthRepartitioned, Provenance::Controller),
+            None,
+            None,
+            false,
+            None,
+        );
     }
 
     // ------------------------------------------------------------------
@@ -378,7 +480,10 @@ impl OsmlScheduler {
             sample = server.sample(id).filter(CounterSample::is_valid);
         }
         let Some(sample) = sample else { return Placement::Rejected };
-        let prediction = self.models.model_a.predict(&sample);
+        let prediction = {
+            let _span = self.telemetry.span("model.a.predict_us");
+            self.models.model_a.predict(&sample)
+        };
         self.records.insert(
             id,
             AppRecord {
@@ -413,7 +518,9 @@ impl OsmlScheduler {
         }
 
         // Lines 4-6: idle resources suffice for the OAA.
-        if self.try_allocate_dedicated(server, id, prediction.oaa.cores, prediction.oaa.ways) {
+        let place = TraceOp::new(ActionKind::Place, Provenance::ModelA);
+        if self.try_allocate_dedicated(server, id, prediction.oaa.cores, prediction.oaa.ways, place)
+        {
             self.log.push(
                 server.now(),
                 Some(id),
@@ -426,7 +533,7 @@ impl OsmlScheduler {
         // Lines 7-22: deprive neighbours via Model-B, trying the OAA first
         // and the RCliff as the fallback target (line 19).
         for target in [prediction.oaa, prediction.rcliff] {
-            if self.deprive_and_allocate(server, id, target.cores, target.ways) {
+            if self.deprive_and_allocate(server, id, target.cores, target.ways, place) {
                 self.log.push(
                     server.now(),
                     Some(id),
@@ -458,7 +565,7 @@ impl OsmlScheduler {
         let free = free_way_run_after_repack(server, Some(id)).max(1);
         let cores = prediction.oaa.cores.min(idle.max(1));
         let ways = prediction.oaa.ways.min(free);
-        if self.try_allocate_dedicated(server, id, cores, ways) {
+        if self.try_allocate_dedicated(server, id, cores, ways, place) {
             self.log.push(server.now(), Some(id), EventKind::Placed { cores, ways });
             self.repartition_bandwidth(server);
             Placement::Placed
@@ -478,9 +585,10 @@ impl OsmlScheduler {
         id: AppId,
         target_cores: usize,
         target_ways: usize,
+        op: TraceOp,
     ) -> bool {
         self.transact(server, |this, server| {
-            this.deprive_and_allocate_inner(server, id, target_cores, target_ways)
+            this.deprive_and_allocate_inner(server, id, target_cores, target_ways, op)
         })
     }
 
@@ -490,6 +598,7 @@ impl OsmlScheduler {
         id: AppId,
         target_cores: usize,
         target_ways: usize,
+        op: TraceOp,
     ) -> bool {
         let own = server.allocation(id).map(|a| a.cores).unwrap_or_default();
         let idle_cores = server.idle_cores().union(own).count();
@@ -497,7 +606,7 @@ impl OsmlScheduler {
         let need_cores = target_cores.saturating_sub(idle_cores);
         let need_ways = target_ways.saturating_sub(free_ways);
         if need_cores == 0 && need_ways == 0 {
-            return self.try_allocate_dedicated(server, id, target_cores, target_ways);
+            return self.try_allocate_dedicated(server, id, target_cores, target_ways, op);
         }
 
         // Line 10-15: collect every neighbour's B-points.
@@ -515,7 +624,10 @@ impl OsmlScheduler {
             }
             let Some(vs) = self.fresh_sample(server, victim) else { continue };
             let Some(valloc) = server.allocation(victim) else { continue };
-            let points = self.models.model_b.predict(&vs, budget);
+            let points = {
+                let _span = self.telemetry.span("model.b.predict_us");
+                self.models.model_b.predict(&vs, budget)
+            };
             // "OSML moves away from the OAA to somewhere close to RCliff
             // (saving resources), but will not easily step into it" (§V-A):
             // clamp offers so a victim never drops below its predicted
@@ -554,7 +666,7 @@ impl OsmlScheduler {
                     let mut dw = p.ways.min(valloc.ways.count().saturating_sub(floor.1));
                     while !wide_slack
                         && (dc > 0 || dw > 0)
-                        && self.models.model_b_prime.predict(&vs, dc, dw) > budget
+                        && self.price_slowdown(&vs, dc, dw) > budget
                     {
                         if dc >= dw && dc > 0 {
                             dc -= 1;
@@ -585,7 +697,12 @@ impl OsmlScheduler {
             alloc.cores =
                 old.cores.pick_spread(server.topology(), keep).expect("keep <= current count");
             alloc.ways = old.ways.resized(-(dw as i32), server.topology().llc_ways());
-            if self.apply(server, victim, alloc) {
+            if self.apply(
+                server,
+                victim,
+                alloc,
+                TraceOp::new(ActionKind::Deprive, Provenance::ModelB),
+            ) {
                 self.log.push(
                     server.now(),
                     Some(victim),
@@ -606,7 +723,7 @@ impl OsmlScheduler {
                 }
             }
         }
-        self.try_allocate_dedicated(server, id, target_cores, target_ways)
+        self.try_allocate_dedicated(server, id, target_cores, target_ways, op)
     }
 
     // ------------------------------------------------------------------
@@ -642,11 +759,16 @@ impl OsmlScheduler {
                     <= free_ways;
             cores_ok && ways_ok
         };
-        if let Some(action) = self.models.model_c.best_action_where(&sample, achievable) {
+        let chosen = {
+            let _span = self.telemetry.span("model.c.infer_us");
+            self.models.model_c.best_action_where(&sample, achievable)
+        };
+        let grow = TraceOp::new(ActionKind::Grant, Provenance::ModelC);
+        if let Some(action) = chosen {
             let want_cores = alloc.cores.count() + action.dcores as usize;
             let want_ways =
                 (alloc.ways.count() + action.dways as usize).min(server.topology().llc_ways());
-            if self.try_allocate_dedicated(server, id, want_cores, want_ways) {
+            if self.try_allocate_dedicated(server, id, want_cores, want_ways, grow) {
                 self.log.push(
                     server.now(),
                     Some(id),
@@ -668,11 +790,15 @@ impl OsmlScheduler {
         // what it wants, then try to free it from neighbours through
         // Model-B (the controller "enables the ML models" on violation,
         // §VI-D-3), and finally consider sharing (Algorithm 4).
-        let wanted = self
-            .models
-            .model_c
-            .best_action_where(&sample, |a| a.dcores >= 0 && a.dways >= 0 && a != Action::noop())
-            .unwrap_or(Action { dcores: 1, dways: 1 });
+        let wanted = {
+            let _span = self.telemetry.span("model.c.infer_us");
+            self.models
+                .model_c
+                .best_action_where(&sample, |a| {
+                    a.dcores >= 0 && a.dways >= 0 && a != Action::noop()
+                })
+                .unwrap_or(Action { dcores: 1, dways: 1 })
+        };
         // If neighbours cannot fund Model-C's preferred step, fall back to
         // smaller ones — a single core or way still beats stalling.
         let ladder = [
@@ -693,7 +819,7 @@ impl OsmlScheduler {
             target_cores = alloc.cores.count() + step.dcores as usize;
             target_ways =
                 (alloc.ways.count() + step.dways as usize).min(server.topology().llc_ways());
-            if self.deprive_and_allocate(server, id, target_cores, target_ways) {
+            if self.deprive_and_allocate(server, id, target_cores, target_ways, grow) {
                 self.log.push(
                     server.now(),
                     Some(id),
@@ -724,6 +850,15 @@ impl OsmlScheduler {
             let already = self.records.get(&id).map(|r| r.migration_requested).unwrap_or(false);
             if !already {
                 self.log.push(server.now(), Some(id), EventKind::MigrationRequested);
+                self.emit_trace(
+                    server.now(),
+                    Some(id),
+                    TraceOp::new(ActionKind::MigrationRequested, Provenance::Controller),
+                    None,
+                    None,
+                    false,
+                    None,
+                );
                 if let Some(rec) = self.records.get_mut(&id) {
                     rec.migration_requested = true;
                 }
@@ -772,20 +907,22 @@ impl OsmlScheduler {
         if !cores_surplus && !ways_surplus {
             return;
         }
-        let action = self
-            .models
-            .model_c
-            .best_action_where(&sample, |a| {
-                a.dcores <= 0
-                    && a.dways <= 0
-                    && a != Action::noop()
-                    && (cores_surplus || a.dcores == 0)
-                    && (ways_surplus || a.dways == 0)
-            })
-            .unwrap_or(Action {
-                dcores: if cores_surplus { -1 } else { 0 },
-                dways: if ways_surplus { -1 } else { 0 },
-            });
+        let action = {
+            let _span = self.telemetry.span("model.c.infer_us");
+            self.models
+                .model_c
+                .best_action_where(&sample, |a| {
+                    a.dcores <= 0
+                        && a.dways <= 0
+                        && a != Action::noop()
+                        && (cores_surplus || a.dcores == 0)
+                        && (ways_surplus || a.dways == 0)
+                })
+                .unwrap_or(Action {
+                    dcores: if cores_surplus { -1 } else { 0 },
+                    dways: if ways_surplus { -1 } else { 0 },
+                })
+        };
         // Never reclaim below the cliff itself — and never "reclaim" upward
         // (a refreshed cliff prediction can sit above the current holding).
         let new_cores = ((alloc.cores.count() as i32 + action.dcores).max(cliff.cores as i32)
@@ -803,7 +940,7 @@ impl OsmlScheduler {
         shrunk.ways = alloc
             .ways
             .resized(new_ways as i32 - alloc.ways.count() as i32, server.topology().llc_ways());
-        if self.apply(server, id, shrunk) {
+        if self.apply(server, id, shrunk, TraceOp::new(ActionKind::Reclaim, Provenance::ModelC)) {
             self.log.push(
                 server.now(),
                 Some(id),
@@ -871,7 +1008,7 @@ impl OsmlScheduler {
             if nalloc.ways.count() <= need_ways {
                 continue;
             }
-            let slowdown = self.models.model_b_prime.predict(&ns, 0, need_ways);
+            let slowdown = self.price_slowdown(&ns, 0, need_ways);
             if best.is_none_or(|(_, s)| slowdown < s) {
                 best = Some((neighbor, slowdown));
             }
@@ -902,7 +1039,12 @@ impl OsmlScheduler {
                 if shared == server.allocation(id).expect("id is placed") {
                     return Placement::Rejected;
                 }
-                if self.apply(server, id, shared) {
+                if self.apply(
+                    server,
+                    id,
+                    shared,
+                    TraceOp::new(ActionKind::Share, Provenance::ModelBPrime),
+                ) {
                     self.log.push(
                         server.now(),
                         Some(id),
@@ -915,6 +1057,15 @@ impl OsmlScheduler {
             }
             _ => {
                 self.log.push(server.now(), Some(id), EventKind::MigrationRequested);
+                self.emit_trace(
+                    server.now(),
+                    Some(id),
+                    TraceOp::new(ActionKind::MigrationRequested, Provenance::Controller),
+                    None,
+                    None,
+                    false,
+                    None,
+                );
                 Placement::Rejected
             }
         }
@@ -943,7 +1094,8 @@ impl OsmlScheduler {
             return;
         }
         let (want_cores, want_ways) = (want_cores.max(cur_cores), want_ways.max(cur_ways));
-        if self.try_allocate_dedicated(server, id, want_cores, want_ways) {
+        let op = TraceOp::new(ActionKind::Grant, Provenance::Heuristic);
+        if self.try_allocate_dedicated(server, id, want_cores, want_ways, op) {
             self.log.push(
                 server.now(),
                 Some(id),
@@ -964,14 +1116,19 @@ impl OsmlScheduler {
         let Some(record) = self.records.get_mut(&id) else { return };
         let Some(pending) = record.pending.take() else { return };
         let Some(after) = self.fresh_sample(server, id) else { return };
-        self.models.model_c.observe(&pending.before, pending.action, &after);
+        {
+            let _span = self.telemetry.span("model.c.observe_us");
+            self.models.model_c.observe(&pending.before, pending.action, &after);
+        }
         if self.config.online_learning {
+            let _span = self.telemetry.span("model.c.train_us");
             self.models.model_c.train_step();
         }
         let violated = server.latency(id).map(|l| guarded_violation(&l)).unwrap_or(false);
+        let rollback_op = TraceOp::new(ActionKind::Rollback, Provenance::Controller);
         match pending.kind {
             PendingKind::Reclaim => {
-                if violated && self.apply(server, id, pending.rollback) {
+                if violated && self.apply(server, id, pending.rollback, rollback_op) {
                     self.log.push(server.now(), Some(id), EventKind::RolledBack);
                     // While the platform is misbehaving, a reclaim that
                     // broke QoS counts against the model path: the decision
@@ -998,7 +1155,7 @@ impl OsmlScheduler {
                 }
                 let improved = after.response_latency_ms
                     < pending.before.response_latency_ms * GROWTH_IMPROVEMENT_FACTOR;
-                if violated && !improved && self.apply(server, id, pending.rollback) {
+                if violated && !improved && self.apply(server, id, pending.rollback, rollback_op) {
                     self.log.push(server.now(), Some(id), EventKind::RolledBack);
                     // An ineffective growth is ordinary Model-C exploration
                     // on a healthy platform, but a watchdog strike while
@@ -1040,6 +1197,8 @@ impl Scheduler for OsmlScheduler {
             self.config.retry_backoff_base_ms,
         );
         let server = &mut server;
+        self.ticks += 1;
+        self.telemetry.counter_add("scheduler.ticks", 1);
         for record in self.records.values_mut() {
             record.reclaim_cooldown = record.reclaim_cooldown.saturating_sub(1);
             for entry in &mut record.blocked {
@@ -1068,6 +1227,15 @@ impl Scheduler for OsmlScheduler {
                 record.fallback_ok_ticks = 0;
                 let failures = record.failed_ml_actions;
                 self.log.push(now, Some(id), EventKind::FallbackEngaged { failures });
+                self.emit_trace(
+                    now,
+                    Some(id),
+                    TraceOp::new(ActionKind::FallbackEngaged, Provenance::Controller),
+                    None,
+                    None,
+                    false,
+                    Some(format!("failures={failures}")),
+                );
             }
             let record = self.records.get_mut(&id).expect("checked above");
             if record.fallback {
@@ -1081,6 +1249,15 @@ impl Scheduler for OsmlScheduler {
                         record.fallback_ok_ticks = 0;
                         record.violation_ticks = 0;
                         self.log.push(now, Some(id), EventKind::Recovered { healthy_ticks });
+                        self.emit_trace(
+                            now,
+                            Some(id),
+                            TraceOp::new(ActionKind::Recovered, Provenance::Controller),
+                            None,
+                            None,
+                            false,
+                            Some(format!("healthy_ticks={healthy_ticks}")),
+                        );
                     }
                 } else {
                     record.fallback_ok_ticks = 0;
@@ -1096,6 +1273,7 @@ impl Scheduler for OsmlScheduler {
             // from a noisy arrival sample self-correct once the service
             // runs on a dedicated allocation.
             if record.pending.is_none() {
+                let _span = self.telemetry.span("model.a.predict_us");
                 record.prediction = self.models.model_a.predict(&sample);
             }
             if guarded_violation(&lat) {
@@ -1118,6 +1296,11 @@ impl Scheduler for OsmlScheduler {
             self.repartition_bandwidth(server);
         }
         self.note_faults(server);
+        if self.telemetry.is_enabled() {
+            self.telemetry.gauge_set("scheduler.actions_total", self.actions as f64);
+            self.telemetry.gauge_set("scheduler.services", self.records.len() as f64);
+            self.telemetry.gauge_set("scheduler.time_s", server.now());
+        }
     }
 
     fn on_departure(&mut self, id: AppId) {

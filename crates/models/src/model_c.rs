@@ -123,6 +123,11 @@ impl ModelC {
         ModelC { dqn: Dqn::new(config) }
     }
 
+    /// The DQN settings in effect (ε, γ, replay sizing).
+    pub fn config(&self) -> &DqnConfig {
+        self.dqn.config()
+    }
+
     /// ε-greedy action selection from a counter sample.
     pub fn select_action(&mut self, sample: &CounterSample) -> Action {
         Action::from_index(self.dqn.select_action(&features::model_c_state(sample)))
@@ -295,6 +300,10 @@ mod tests {
         // Synthetic environment: latency is flat at 5 ms regardless of
         // action. The reward then reduces to -(dcores + dways), so the
         // greedy action must converge to strictly negative deltas (reclaim).
+        // ε = 0.3 is a training-phase exploration boost for this synthetic
+        // environment only (600 steps are too few for ε = 0.05 to cover the
+        // action space). Deployed Model-C keeps the paper's ε = 0.05, pinned
+        // by `paper_config_pins_the_deployment_epsilon` below.
         let mut c = ModelC::with_config(DqnConfig {
             batch_size: 64,
             epsilon: 0.3,
@@ -311,6 +320,16 @@ mod tests {
             best.dcores + best.dways < 0,
             "model-c should reclaim resources at stable latency, chose {best:?}"
         );
+    }
+
+    #[test]
+    fn paper_config_pins_the_deployment_epsilon() {
+        // §IV-C: deployed Model-C explores with ε = 0.05. Tests may boost ε
+        // to speed up synthetic training runs, but the production default
+        // must stay at the paper's value.
+        let cfg = DqnConfig::paper(features::MODEL_C_STATE, ACTIONS, 1);
+        assert_eq!(cfg.epsilon, 0.05);
+        assert_eq!(ModelC::new(1).config().epsilon, 0.05);
     }
 
     #[test]

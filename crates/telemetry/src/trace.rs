@@ -1,0 +1,272 @@
+//! The structured decision trace: records, provenance, and sinks.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+
+/// A `(cores, ways)` view of an allocation at trace time. Deliberately not
+/// the platform `Allocation` type: the trace is a stable external schema,
+/// not a borrow of internal state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AllocSnapshot {
+    /// Allocated logical cores.
+    pub cores: usize,
+    /// Allocated LLC ways.
+    pub ways: usize,
+}
+
+/// Which component decided the traced action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Provenance {
+    /// Model-A OAA/RCliff prediction drove the action.
+    ModelA,
+    /// Model-B B-point matching drove the action.
+    ModelB,
+    /// Model-B′ slowdown pricing drove the action.
+    ModelBPrime,
+    /// Model-C's DQN chose the action.
+    ModelC,
+    /// The heuristic fallback (QoS watchdog quarantine) drove the action.
+    Heuristic,
+    /// The controller's own machinery (rollback, transaction restore,
+    /// watchdog transitions) drove the action.
+    Controller,
+    /// A baseline scheduler (PARTIES, Unmanaged, Oracle) drove the action.
+    Baseline,
+}
+
+/// What kind of decision a [`TraceRecord`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ActionKind {
+    /// Initial placement of a newly arrived service.
+    Place,
+    /// A growth grant (Algorithm 2 or the heuristic fallback).
+    Grant,
+    /// A neighbour deprived of resources (Algorithm 1 / Model-B).
+    Deprive,
+    /// Surplus reclaimed (Algorithm 3).
+    Reclaim,
+    /// LLC sharing enabled with a neighbour (Algorithm 4).
+    Share,
+    /// A pending action withdrawn (reclaim broke QoS / growth was wasted).
+    Rollback,
+    /// A transaction abort restored services to their pre-move layout.
+    Restore,
+    /// The QoS watchdog quarantined the ML path.
+    FallbackEngaged,
+    /// The service left quarantine.
+    Recovered,
+    /// A transient actuation failure was retried until success.
+    Retry,
+    /// The upper scheduler was asked to migrate the service.
+    MigrationRequested,
+    /// MBA throttles were repartitioned.
+    BandwidthRepartitioned,
+}
+
+/// An `(ActionKind, Provenance)` pair the instrumented call sites thread to
+/// the actuation plumbing, so one `apply` path can emit correctly labelled
+/// records for every algorithm that funnels through it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceOp {
+    /// What is being done.
+    pub kind: ActionKind,
+    /// Who decided it.
+    pub provenance: Provenance,
+}
+
+impl TraceOp {
+    /// Builds an op.
+    pub const fn new(kind: ActionKind, provenance: Provenance) -> Self {
+        TraceOp { kind, provenance }
+    }
+}
+
+/// One structured decision-trace record (one JSONL line in a [`FileSink`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Scheduler tick the decision happened in (0 during placement before
+    /// the first tick).
+    pub tick: u64,
+    /// Simulated time, seconds.
+    pub time_s: f64,
+    /// Raw id of the service concerned (`None` for machine-wide records).
+    pub app: Option<u64>,
+    /// What happened.
+    pub kind: ActionKind,
+    /// Which model or mechanism decided it.
+    pub provenance: Provenance,
+    /// Allocation before the action, if it changed one.
+    pub pre: Option<AllocSnapshot>,
+    /// Allocation after the action, if it changed one.
+    pub post: Option<AllocSnapshot>,
+    /// Whether this record is a scheduling action in the paper's Fig. 15
+    /// overhead accounting (exactly the actions `action_count()` reports).
+    pub counts_as_action: bool,
+    /// Free-form detail (`attempts=3 backoff_ms=3.0`, …).
+    pub detail: Option<String>,
+}
+
+/// Where trace records go. Implementations must not feed anything back into
+/// the scheduler — sinks are write-only by design.
+pub trait TelemetrySink: std::fmt::Debug + Send {
+    /// Accepts one record.
+    fn record(&mut self, rec: &TraceRecord);
+
+    /// Flushes buffered records to their destination.
+    fn flush(&mut self) {}
+
+    /// Read-back for in-memory sinks (`None` for write-only sinks such as
+    /// files).
+    fn records(&self) -> Option<Vec<TraceRecord>> {
+        None
+    }
+}
+
+/// A bounded in-memory sink: keeps the most recent `capacity` records,
+/// counting (not storing) older ones.
+#[derive(Debug, Clone)]
+pub struct RingBufferSink {
+    capacity: usize,
+    items: VecDeque<TraceRecord>,
+    dropped: u64,
+}
+
+impl RingBufferSink {
+    /// Creates a ring holding at most `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring buffer capacity must be positive");
+        RingBufferSink { capacity, items: VecDeque::with_capacity(capacity.min(1024)), dropped: 0 }
+    }
+
+    /// Records evicted to make room (total seen = stored + dropped).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl TelemetrySink for RingBufferSink {
+    fn record(&mut self, rec: &TraceRecord) {
+        if self.items.len() == self.capacity {
+            self.items.pop_front();
+            self.dropped += 1;
+        }
+        self.items.push_back(rec.clone());
+    }
+
+    fn records(&self) -> Option<Vec<TraceRecord>> {
+        Some(self.items.iter().cloned().collect())
+    }
+}
+
+/// A JSONL file sink: one serialized [`TraceRecord`] per line.
+#[derive(Debug)]
+pub struct FileSink {
+    path: PathBuf,
+    writer: BufWriter<File>,
+}
+
+impl FileSink {
+    /// Creates (truncating) the file at `path`, creating parent directories
+    /// as needed.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let writer = BufWriter::new(File::create(&path)?);
+        Ok(FileSink { path, writer })
+    }
+
+    /// The file being written.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl TelemetrySink for FileSink {
+    fn record(&mut self, rec: &TraceRecord) {
+        // Serialization of a derived struct cannot fail; I/O errors on a
+        // telemetry pipe must not take the scheduler down — drop the line.
+        let line = serde_json::to_string(rec).expect("trace record serializes");
+        let _ = writeln!(self.writer, "{line}");
+    }
+
+    fn flush(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+impl Drop for FileSink {
+    fn drop(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(tick: u64) -> TraceRecord {
+        TraceRecord {
+            tick,
+            time_s: tick as f64,
+            app: Some(1),
+            kind: ActionKind::Grant,
+            provenance: Provenance::ModelC,
+            pre: Some(AllocSnapshot { cores: 4, ways: 4 }),
+            post: Some(AllocSnapshot { cores: 5, ways: 5 }),
+            counts_as_action: true,
+            detail: None,
+        }
+    }
+
+    #[test]
+    fn trace_record_round_trips() {
+        let r = rec(7);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: TraceRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn ring_buffer_keeps_most_recent() {
+        let mut ring = RingBufferSink::new(3);
+        for t in 0..5 {
+            ring.record(&rec(t));
+        }
+        let records = ring.records().unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].tick, 2);
+        assert_eq!(records[2].tick, 4);
+        assert_eq!(ring.dropped(), 2);
+    }
+
+    #[test]
+    fn file_sink_writes_one_json_line_per_record() {
+        let path =
+            std::env::temp_dir().join(format!("osml-trace-test-{}.jsonl", std::process::id()));
+        {
+            let mut sink = FileSink::create(&path).unwrap();
+            sink.record(&rec(0));
+            sink.record(&rec(1));
+            sink.flush();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for (i, line) in lines.iter().enumerate() {
+            let back: TraceRecord = serde_json::from_str(line).unwrap();
+            assert_eq!(back.tick, i as u64);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -297,6 +297,22 @@ impl_serde_tuple! {
     (A: 0, B: 1, C: 2, D: 3)
 }
 
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_object()
+            .ok_or_else(|| DeError::expected("object"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -326,6 +342,17 @@ mod tests {
         assert!(u8::from_value(&Value::Int(300)).is_err());
         assert!(bool::from_value(&Value::Int(1)).is_err());
         assert!(<[u8; 2]>::from_value(&vec![1u8].to_value()).is_err());
+    }
+
+    #[test]
+    fn btreemap_round_trips_as_object() {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("a".to_string(), 1u64);
+        m.insert("b".to_string(), 2u64);
+        let v = m.to_value();
+        assert_eq!(v.get("a"), Some(&Value::Int(1)));
+        let round: std::collections::BTreeMap<String, u64> = Deserialize::from_value(&v).unwrap();
+        assert_eq!(round, m);
     }
 
     #[test]
