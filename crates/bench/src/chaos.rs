@@ -6,9 +6,19 @@
 //! writes failing and counter windows dropping at a configured rate, does
 //! the controller keep every service converging back to QoS — without
 //! panicking and without ever leaving a half-applied layout?
+//!
+//! The second half of the module is the crash/restart harness (Fig. 19):
+//! [`run_crash_recovery`] kills the controller outright at a chosen tick —
+//! dropping everything it held in memory — and restarts it through
+//! [`OsmlScheduler::recover`] from the durable snapshot + write-ahead
+//! journal + Model-C checkpoint (or cold, with the store lost), measuring
+//! what durable state buys back.
 
-use osml_core::{EventKind, OsmlScheduler};
+use osml_core::{EventKind, Models, OsmlConfig, OsmlScheduler, RecoveryReport, RecoveryStore};
+use osml_ml::store::ModelStore;
+use osml_models::ModelC;
 use osml_platform::{AppId, FaultPlan, FaultySubstrate, Placement, Scheduler, Substrate};
+use osml_telemetry::{JournalSink, Telemetry, TelemetrySink};
 use osml_workloads::{LaunchSpec, SimConfig, SimServer};
 use serde::{Deserialize, Serialize};
 
@@ -167,6 +177,211 @@ pub fn run_chaos_colocation(
         actions: scheduler.action_count(),
         apps,
     }
+}
+
+// ---------------------------------------------------------------------
+// Crash/restart harness (Fig. 19)
+// ---------------------------------------------------------------------
+
+/// The name Model-C's durable agent checkpoint is stored under in the
+/// run's [`ModelStore`].
+pub const MODEL_C_AGENT: &str = "model-c";
+
+/// What happens to the controller during a crash-recovery timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestartPlan {
+    /// The controller lives the whole run (the reference arm).
+    NeverKilled,
+    /// Kill the controller just before the given tick, then warm-restart
+    /// it from the durable snapshot + journal + Model-C checkpoint via
+    /// [`OsmlScheduler::recover`].
+    KillThenWarm(usize),
+    /// Kill the controller just before the given tick, then restart it
+    /// with the durable store lost — `recover` against an empty store
+    /// falls back to adopting every running service cold.
+    KillThenCold(usize),
+}
+
+/// Outcome of one crash-recovery timeline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RecoveryOutcome {
+    /// The tick the controller was killed before (`None` for the
+    /// never-killed reference arm).
+    pub kill_tick: Option<usize>,
+    /// Whether the restart was warm (durable store intact) rather than
+    /// cold (store lost). Meaningless when `kill_tick` is `None`.
+    pub warm_restart: bool,
+    /// Whether every service was accepted at placement.
+    pub all_placed: bool,
+    /// Fraction of services meeting QoS at the end of the run.
+    pub qos_fraction: f64,
+    /// Mean per-tick fraction of services meeting QoS over the whole run
+    /// (a crash that hurts convergence shows up here).
+    pub qos_compliance_over_time: f64,
+    /// Whether the layout invariants held at **every** tick, including the
+    /// first tick after the restart.
+    pub layout_always_valid: bool,
+    /// Ticks from the restart until every service met QoS again (`None`
+    /// when the run never reconverged or was never killed).
+    pub reconverge_ticks: Option<usize>,
+    /// Total scheduling actions; the snapshot plus journal replay carry
+    /// the count across the crash.
+    pub actions: usize,
+    /// What [`OsmlScheduler::recover`] reported at the restart.
+    pub recovery: Option<RecoveryReport>,
+    /// Per-service steady-state detail.
+    pub apps: Vec<AppReport>,
+}
+
+/// A unique scratch directory for one run's durable state. Unique per
+/// process *and* per call, so parallel tests never share a store.
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "osml-crash-{}-{tag}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Runs one crash-recovery timeline: services arrive and settle under 1 Hz
+/// monitoring exactly as in [`crate::run_colocation`], while the controller
+/// continuously write-ahead journals its committed actions and checkpoints
+/// a full [`osml_core::SchedulerSnapshot`] (plus Model-C's agent state)
+/// every `checkpoint_every` ticks. Per `plan`, the controller is then killed
+/// just before one tick — everything it held in memory is dropped — and
+/// rebuilt through [`OsmlScheduler::recover`], either warm (durable store
+/// intact) or cold (store lost).
+///
+/// The machine keeps running while the controller is being rebuilt: the
+/// services, their allocations and any drift are exactly what `recover`'s
+/// reconciliation has to adopt, repair or drop.
+///
+/// With `RestartPlan::NeverKilled` the recovery wiring is observationally
+/// inert — snapshots are read-only and the journal is write-only — so the
+/// timeline is bit-identical to an unwired [`crate::run_colocation`] run
+/// (asserted by `tests/recovery.rs`).
+pub fn run_crash_recovery(
+    template: &OsmlScheduler,
+    specs: &[LaunchSpec],
+    total_ticks: usize,
+    seed: u64,
+    checkpoint_every: usize,
+    plan: RestartPlan,
+) -> RecoveryOutcome {
+    assert!(checkpoint_every > 0, "checkpoint cadence must be positive");
+    let (kill_tick, warm) = match plan {
+        RestartPlan::NeverKilled => (None, false),
+        RestartPlan::KillThenWarm(t) => (Some(t), true),
+        RestartPlan::KillThenCold(t) => (Some(t), false),
+    };
+
+    let dir = scratch_dir("run");
+    let store = RecoveryStore::open(&dir).expect("open recovery store");
+    let model_store = ModelStore::open(dir.join("models")).expect("open model store");
+    let journal = || -> Vec<Box<dyn TelemetrySink>> {
+        vec![Box::new(JournalSink::append(store.journal_path()).expect("open journal"))]
+    };
+
+    let mut server = SimServer::new(SimConfig { noise_sigma: 0.0, seed, ..SimConfig::default() });
+    let mut scheduler = template.clone().with_telemetry(Telemetry::with_sinks(journal()));
+
+    let mut ids: Vec<AppId> = Vec::new();
+    let mut all_placed = true;
+    for &spec in specs {
+        let alloc = osml_core::bootstrap_allocation(&mut server, spec.threads);
+        let id = server.launch(spec, alloc).expect("bootstrap allocation is valid");
+        server.advance(1.0);
+        match scheduler.on_arrival(&mut server, id) {
+            Placement::Placed => ids.push(id),
+            Placement::Rejected => {
+                let _ = server.remove(id);
+                scheduler.on_departure(id);
+                all_placed = false;
+            }
+        }
+    }
+    let mut layout_always_valid = layout_invariants_ok(&server);
+
+    let mut compliance_sum = 0.0;
+    let mut recovery: Option<RecoveryReport> = None;
+    let mut reconverge_ticks: Option<usize> = None;
+    for t in 0..total_ticks {
+        if kill_tick == Some(t) {
+            // Crash: the controller process dies here. Everything in memory
+            // is gone; only the durable store survives — or, for the cold
+            // arm, not even that.
+            drop(scheduler);
+            let mut models: Models = template.models().clone();
+            if warm && model_store.contains_agent(MODEL_C_AGENT) {
+                let ck = model_store.load_agent(MODEL_C_AGENT).expect("agent checkpoint loads");
+                models.model_c = ModelC::restore(ck);
+            }
+            let restart_store = if warm {
+                store.clone()
+            } else {
+                RecoveryStore::open(dir.join("cold-empty")).expect("open empty store")
+            };
+            let (restarted, report) =
+                OsmlScheduler::recover(models, OsmlConfig::default(), &restart_store, &mut server);
+            scheduler = restarted.with_telemetry(Telemetry::with_sinks(journal()));
+            recovery = Some(report);
+        }
+        server.advance(1.0);
+        scheduler.tick(&mut server);
+        layout_always_valid &= layout_invariants_ok(&server);
+        let met = ids
+            .iter()
+            .filter(|&&id| server.latency(id).map(|l| !l.violates_qos()).unwrap_or(false))
+            .count();
+        compliance_sum += met as f64 / ids.len().max(1) as f64;
+        if let Some(kill) = kill_tick {
+            if t >= kill && reconverge_ticks.is_none() && met == ids.len() {
+                reconverge_ticks = Some(t - kill);
+            }
+        }
+        if (t + 1) % checkpoint_every == 0 {
+            store.save_snapshot(&scheduler.snapshot(&server)).expect("save snapshot");
+            model_store
+                .save_agent(MODEL_C_AGENT, &scheduler.models().model_c.checkpoint())
+                .expect("save agent checkpoint");
+        }
+    }
+    server.advance(1.0);
+
+    let apps: Vec<AppReport> = ids
+        .iter()
+        .filter_map(|&id| {
+            let lat = server.latency(id)?;
+            let alloc = server.allocation(id)?;
+            let spec = server.spec_of(id)?;
+            Some(AppReport {
+                service: spec.service,
+                offered_rps: spec.offered_rps,
+                p95_ms: lat.p95_ms,
+                qos_ms: lat.qos_target_ms,
+                qos_met: !lat.violates_qos(),
+                cores: alloc.cores.count(),
+                ways: alloc.ways.count(),
+            })
+        })
+        .collect();
+    let met = apps.iter().filter(|a| a.qos_met).count();
+    let outcome = RecoveryOutcome {
+        kill_tick,
+        warm_restart: warm,
+        all_placed,
+        qos_fraction: met as f64 / apps.len().max(1) as f64,
+        qos_compliance_over_time: compliance_sum / total_ticks.max(1) as f64,
+        layout_always_valid,
+        reconverge_ticks,
+        actions: scheduler.action_count(),
+        recovery,
+        apps,
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    outcome
 }
 
 #[cfg(test)]

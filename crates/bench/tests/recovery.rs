@@ -1,0 +1,116 @@
+//! Crash recovery's two load-bearing guarantees, end-to-end through the
+//! bench harness:
+//!
+//! 1. **Recovery never corrupts the machine.** Killing the controller just
+//!    before *any* tick and warm-restarting via `OsmlScheduler::recover`
+//!    leaves the layout invariants (valid allocations, no core
+//!    double-assignment) intact at every subsequent tick — including kills
+//!    before the first checkpoint, which degrade to cold adoption.
+//! 2. **The durable-state wiring is bit-transparent.** With no kill, a run
+//!    under continuous journaling + periodic snapshots takes exactly the
+//!    decisions an unwired run takes: snapshots are read-only, the journal
+//!    is write-only, so fig10/fig18 outputs cannot shift.
+
+use osml_bench::chaos::{run_crash_recovery, RestartPlan};
+use osml_bench::run_colocation;
+use osml_bench::suite::{trained_suite, SuiteConfig};
+use osml_core::RecoveryMode;
+use osml_workloads::{LaunchSpec, Service};
+
+fn specs() -> [LaunchSpec; 2] {
+    [
+        LaunchSpec::at_percent_load(Service::Moses, 30.0),
+        LaunchSpec::at_percent_load(Service::ImgDnn, 30.0),
+    ]
+}
+
+#[test]
+fn warm_recovery_holds_layout_invariants_at_every_kill_tick() {
+    const TOTAL: usize = 16;
+    const CHECKPOINT_EVERY: usize = 4;
+    let template = trained_suite(SuiteConfig::Standard);
+    for kill in 0..TOTAL {
+        let out = run_crash_recovery(
+            &template,
+            &specs(),
+            TOTAL,
+            7,
+            CHECKPOINT_EVERY,
+            RestartPlan::KillThenWarm(kill),
+        );
+        assert!(out.all_placed, "kill {kill}: placement failed");
+        assert!(
+            out.layout_always_valid,
+            "kill {kill}: recovery left an invalid layout on the machine"
+        );
+        let rec = out.recovery.expect("killed run must produce a recovery report");
+        if kill >= CHECKPOINT_EVERY {
+            // A checkpoint existed: the restart must be warm and restore
+            // every service from its snapshot record.
+            assert!(
+                matches!(rec.mode, RecoveryMode::Warm),
+                "kill {kill}: expected warm restart, got {:?}",
+                rec.mode
+            );
+            assert_eq!(rec.restored, 2, "kill {kill}: {rec:?}");
+            assert_eq!(rec.adopted + rec.dropped, 0, "kill {kill}: {rec:?}");
+        } else {
+            // Killed before the first checkpoint: no snapshot exists yet,
+            // so recovery degrades gracefully to cold adoption.
+            assert!(
+                matches!(rec.mode, RecoveryMode::Cold { .. }),
+                "kill {kill}: expected cold fallback, got {:?}",
+                rec.mode
+            );
+            assert_eq!(rec.adopted, 2, "kill {kill}: {rec:?}");
+        }
+    }
+}
+
+#[test]
+fn warm_recovery_is_no_worse_than_cold_restart() {
+    const TOTAL: usize = 40;
+    const KILL: usize = 12;
+    let template = trained_suite(SuiteConfig::Standard);
+    let warm =
+        run_crash_recovery(&template, &specs(), TOTAL, 7, 10, RestartPlan::KillThenWarm(KILL));
+    let cold =
+        run_crash_recovery(&template, &specs(), TOTAL, 7, 10, RestartPlan::KillThenCold(KILL));
+    assert!(warm.layout_always_valid && cold.layout_always_valid);
+    assert!(
+        warm.qos_fraction >= cold.qos_fraction,
+        "warm {} vs cold {}",
+        warm.qos_fraction,
+        cold.qos_fraction
+    );
+    // The warm arm resumes the snapshotted action count and replays the
+    // journal suffix; the cold arm starts counting from zero again.
+    assert!(matches!(warm.recovery.as_ref().unwrap().mode, RecoveryMode::Warm));
+    assert!(matches!(cold.recovery.as_ref().unwrap().mode, RecoveryMode::Cold { .. }));
+    assert!(
+        warm.actions > cold.actions,
+        "warm restart must carry the pre-crash action count ({} vs {})",
+        warm.actions,
+        cold.actions
+    );
+}
+
+#[test]
+fn recovery_wiring_without_a_kill_is_bit_transparent() {
+    let template = trained_suite(SuiteConfig::Standard);
+
+    let mut plain = template.clone();
+    let plain_out = run_colocation(&mut plain, &specs(), 30, 7);
+
+    let wired = run_crash_recovery(&template, &specs(), 30, 7, 10, RestartPlan::NeverKilled);
+
+    assert!(wired.layout_always_valid);
+    assert!(wired.recovery.is_none(), "no kill, no recovery report");
+    assert_eq!(wired.actions, plain_out.actions, "wiring changed the decision count");
+    assert_eq!(wired.apps.len(), plain_out.apps.len());
+    for (a, b) in plain_out.apps.iter().zip(&wired.apps) {
+        assert_eq!(a.cores, b.cores, "wiring changed an allocation");
+        assert_eq!(a.ways, b.ways, "wiring changed an allocation");
+        assert_eq!(a.p95_ms, b.p95_ms, "wiring changed the latency trajectory");
+    }
+}

@@ -43,6 +43,12 @@ pub struct OsmlConfig {
     /// milliseconds (attempt *n* waits `base · 2ⁿ`). Accounting only — the
     /// simulated clock is driven by the harness.
     pub retry_backoff_base_ms: f64,
+    /// Ceiling on the total backoff charged to one actuation, milliseconds.
+    /// The exponential series is truncated here instead of silently
+    /// wrapping: with the default budget the cap never binds, but a
+    /// generous budget cannot charge an unbounded (or, previously,
+    /// exponent-clamped) amount of simulated wait.
+    pub max_backoff_ms: f64,
     /// Consecutive failed/ineffective ML actions on one service before the
     /// QoS watchdog quarantines the model path and engages the heuristic
     /// fallback.
@@ -72,6 +78,7 @@ impl Default for OsmlConfig {
             placement_via_models: true,
             actuation_retry_budget: 3,
             retry_backoff_base_ms: 1.0,
+            max_backoff_ms: 1000.0,
             fallback_threshold: 3,
             fallback_recovery_ticks: 8,
             fault_attention_s: 30.0,
@@ -102,6 +109,11 @@ mod tests {
         let c = OsmlConfig::default();
         assert!(c.actuation_retry_budget >= 1, "at least one retry or nothing is transient");
         assert!(c.retry_backoff_base_ms > 0.0);
+        assert!(
+            c.max_backoff_ms
+                >= c.retry_backoff_base_ms * ((1u64 << c.actuation_retry_budget) - 1) as f64,
+            "the default cap must not bind under the default budget"
+        );
         assert!(c.fallback_threshold >= 2, "a single withdrawal must not quarantine the models");
         assert!(c.fallback_recovery_ticks >= 1);
         assert!(c.fault_attention_s > 0.0);

@@ -94,6 +94,20 @@ pub enum EventKind {
         /// Consecutive healthy ticks observed before re-engaging the models.
         healthy_ticks: u32,
     },
+    /// The controller restarted after a crash and reconciled its durable
+    /// state against the live substrate.
+    Restarted {
+        /// Whether the snapshot verified (warm) or the controller had to
+        /// adopt every running service cold.
+        warm: bool,
+        /// Services restored from their snapshot records.
+        restored: usize,
+        /// Orphaned services found running with no snapshot record and
+        /// adopted.
+        adopted: usize,
+        /// Snapshot records whose service departed during the outage.
+        dropped: usize,
+    },
 }
 
 /// A timestamped log entry.

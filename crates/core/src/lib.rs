@@ -36,6 +36,7 @@ mod config;
 mod events;
 mod layout;
 mod osml;
+pub mod recovery;
 mod resilience;
 
 pub use bootstrap::bootstrap_allocation;
@@ -44,3 +45,4 @@ pub use config::OsmlConfig;
 pub use events::{EventKind, EventLog, LogEntry};
 pub use layout::{free_way_run_after_repack, repack_ways};
 pub use osml::{Models, OsmlScheduler};
+pub use recovery::{RecoveryError, RecoveryMode, RecoveryReport, RecoveryStore, SchedulerSnapshot};

@@ -1,4 +1,7 @@
 use crate::layout::{free_way_run_after_repack, repack_ways_with_last};
+use crate::recovery::{
+    AppSnapshot, RecoveryMode, RecoveryReport, RecoveryStore, SchedulerSnapshot,
+};
 use crate::resilience::Retrying;
 use crate::{EventKind, EventLog, OsmlConfig};
 use osml_models::{Action, ModelA, ModelB, ModelBPrime, ModelC, OaaPrediction};
@@ -7,6 +10,7 @@ use osml_platform::{
     WayMask,
 };
 use osml_telemetry::{ActionKind, AllocSnapshot, Provenance, Telemetry, TraceOp, TraceRecord};
+use osml_workloads::oaa::AllocPoint;
 use std::collections::BTreeMap;
 
 /// Ticks Algorithm 3 waits after a rollback before reclaiming again.
@@ -176,6 +180,11 @@ impl OsmlScheduler {
     /// Model-A's stored prediction for a service, if it was profiled.
     pub fn prediction(&self, id: AppId) -> Option<OaaPrediction> {
         self.records.get(&id).map(|r| r.prediction)
+    }
+
+    /// The model suite (e.g. to checkpoint Model-C for a warm restart).
+    pub fn models(&self) -> &Models {
+        &self.models
     }
 
     /// Mutable access to the model suite (e.g. to persist Model-C's online
@@ -1174,6 +1183,269 @@ impl OsmlScheduler {
     }
 }
 
+impl AppRecord {
+    /// The durable image of this record (the in-flight pending action is
+    /// deliberately not captured; see [`AppSnapshot`]).
+    fn to_snapshot<S: Substrate>(&self, server: &S, id: AppId) -> AppSnapshot {
+        AppSnapshot {
+            id: id.0,
+            prediction: self.prediction,
+            allocation: server.allocation(id),
+            had_pending: self.pending.is_some(),
+            reclaim_cooldown: self.reclaim_cooldown,
+            blocked: self.blocked.clone(),
+            reclaim_floor: self.reclaim_floor,
+            migration_requested: self.migration_requested,
+            violation_ticks: self.violation_ticks,
+            last_good: self.last_good,
+            failed_ml_actions: self.failed_ml_actions,
+            fallback: self.fallback,
+            fallback_ok_ticks: self.fallback_ok_ticks,
+        }
+    }
+
+    /// Rebuilds a record from its durable image.
+    fn from_snapshot(snap: &AppSnapshot) -> Self {
+        AppRecord {
+            prediction: snap.prediction,
+            pending: None, // abandoned: its "after" sample would span the outage
+            reclaim_cooldown: snap.reclaim_cooldown,
+            blocked: snap.blocked.clone(),
+            reclaim_floor: snap.reclaim_floor,
+            migration_requested: snap.migration_requested,
+            violation_ticks: snap.violation_ticks,
+            last_good: snap.last_good,
+            failed_ml_actions: snap.failed_ml_actions,
+            fallback: snap.fallback,
+            fallback_ok_ticks: snap.fallback_ok_ticks,
+        }
+    }
+
+    /// A fresh record for a service adopted during recovery (no history).
+    fn adopted(prediction: OaaPrediction, last_good: Option<CounterSample>) -> Self {
+        AppRecord {
+            prediction,
+            pending: None,
+            reclaim_cooldown: 0,
+            blocked: Vec::new(),
+            reclaim_floor: None,
+            migration_requested: false,
+            violation_ticks: 0,
+            last_good,
+            failed_ml_actions: 0,
+            fallback: false,
+            fallback_ok_ticks: 0,
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Crash recovery: durable snapshots and warm-restart reconciliation
+// ----------------------------------------------------------------------
+
+impl OsmlScheduler {
+    /// Captures the controller's complete durable state at this instant.
+    /// Persist it with [`RecoveryStore::save_snapshot`]; together with the
+    /// write-ahead journal suffix it reconstructs the controller via
+    /// [`OsmlScheduler::recover`]. Read-only: taking a snapshot never
+    /// perturbs scheduling (the no-kill path stays bit-identical).
+    pub fn snapshot<S: Substrate>(&self, server: &S) -> SchedulerSnapshot {
+        SchedulerSnapshot {
+            ticks: self.ticks,
+            actions: self.actions,
+            last_fault_s: self.last_fault_s,
+            persistent_failures: self.persistent_failures,
+            config: self.config.clone(),
+            log: self.log.clone(),
+            apps: self.records.iter().map(|(&id, rec)| rec.to_snapshot(server, id)).collect(),
+        }
+    }
+
+    /// Warm-restarts a controller after a crash: loads the most recent
+    /// snapshot from `store`, replays the journal suffix, and reconciles
+    /// the recovered state against the live substrate.
+    ///
+    /// Reconciliation rules:
+    ///
+    /// * a service both in the snapshot and on the substrate is **restored**
+    ///   (its pending action, if any, is abandoned — settling it across the
+    ///   outage would feed Model-C a reward spanning the downtime);
+    /// * a service only on the substrate (launched while the controller was
+    ///   down, or the snapshot predates it) is **adopted**: Model-A predicts
+    ///   from its current sample, or a conservative prediction anchored at
+    ///   its current allocation is used when no valid sample exists;
+    /// * a snapshot record with no live service is **dropped** (departed
+    ///   during the outage);
+    /// * allocations that drifted are noted (the substrate is ground
+    ///   truth), and layouts that are outright invalid — overlapping core
+    ///   sets, malformed masks — are **repaired** from free resources.
+    ///
+    /// If the snapshot is missing, corrupt, checksum-damaged or from a
+    /// foreign version, every running service is adopted **cold** under
+    /// `config`; a verified snapshot resumes under the *snapshotted* config
+    /// (a restart must not silently change policy). Model-C state is not
+    /// loaded here — restore it into `models` beforehand from
+    /// `osml_ml::store::ModelStore::load_agent`.
+    pub fn recover<S: Substrate>(
+        models: Models,
+        config: OsmlConfig,
+        store: &RecoveryStore,
+        server: &mut S,
+    ) -> (Self, RecoveryReport) {
+        let (snapshot, cold_reason) = match store.load_snapshot() {
+            Ok(Some(snap)) => (Some(snap), None),
+            Ok(None) => (None, Some("no snapshot".to_owned())),
+            Err(e) => (None, Some(e.to_string())),
+        };
+        let mut report = RecoveryReport {
+            mode: match &cold_reason {
+                None => RecoveryMode::Warm,
+                Some(reason) => RecoveryMode::Cold { reason: reason.clone() },
+            },
+            restored: 0,
+            adopted: 0,
+            dropped: 0,
+            pending_abandoned: 0,
+            alloc_drift: 0,
+            drift_repaired: 0,
+            journal_replayed: 0,
+        };
+
+        let mut scheduler = match &snapshot {
+            Some(snap) => {
+                let mut s = OsmlScheduler::new(models, snap.config.clone());
+                s.ticks = snap.ticks;
+                s.actions = snap.actions;
+                s.last_fault_s = snap.last_fault_s;
+                s.persistent_failures = snap.persistent_failures;
+                s.log = snap.log.clone();
+                // Journal replay: actions committed after the snapshot was
+                // taken still count toward the overhead accounting, and the
+                // tick counter must not run backwards.
+                for rec in store.read_journal() {
+                    if rec.tick > snap.ticks {
+                        report.journal_replayed += 1;
+                        if rec.counts_as_action {
+                            s.actions += 1;
+                        }
+                        s.ticks = s.ticks.max(rec.tick);
+                    }
+                }
+                s
+            }
+            None => OsmlScheduler::new(models, config),
+        };
+
+        // Reconcile against the live substrate.
+        let mut snap_apps: BTreeMap<u64, AppSnapshot> = snapshot
+            .map(|snap| snap.apps.into_iter().map(|a| (a.id, a)).collect())
+            .unwrap_or_default();
+        let mut live = server.apps();
+        live.sort_by_key(|id| id.0);
+        for &id in &live {
+            match snap_apps.remove(&id.0) {
+                Some(app) => {
+                    if app.had_pending {
+                        report.pending_abandoned += 1;
+                    }
+                    if app.allocation.is_some() && app.allocation != server.allocation(id) {
+                        report.alloc_drift += 1;
+                    }
+                    scheduler.records.insert(id, AppRecord::from_snapshot(&app));
+                    report.restored += 1;
+                }
+                None => {
+                    let sample = server.sample(id).filter(CounterSample::is_valid);
+                    let prediction = match &sample {
+                        Some(s) => scheduler.models.model_a.predict(s),
+                        None => Self::conservative_prediction(server.allocation(id)),
+                    };
+                    scheduler.records.insert(id, AppRecord::adopted(prediction, sample));
+                    report.adopted += 1;
+                }
+            }
+        }
+        report.dropped = snap_apps.len();
+
+        scheduler.repair_layout(server, &mut report);
+        scheduler.log.push(
+            server.now(),
+            None,
+            EventKind::Restarted {
+                warm: cold_reason.is_none(),
+                restored: report.restored,
+                adopted: report.adopted,
+                dropped: report.dropped,
+            },
+        );
+        (scheduler, report)
+    }
+
+    /// A prediction for an adopted service whose counters are unusable:
+    /// anchor the OAA at what it currently holds (assume the dead
+    /// controller knew what it was doing) and place the RCliff at half of
+    /// that, so neither growth nor reclamation acts aggressively until real
+    /// samples arrive.
+    fn conservative_prediction(alloc: Option<Allocation>) -> OaaPrediction {
+        let (cores, ways) =
+            alloc.map(|a| (a.cores.count().max(1), a.ways.count().max(1))).unwrap_or((2, 2));
+        OaaPrediction::new(
+            AllocPoint::new(cores, ways),
+            1.0,
+            AllocPoint::new((cores / 2).max(1), (ways / 2).max(1)),
+        )
+    }
+
+    /// Repairs layouts that drifted into invalidity while the controller
+    /// was down: malformed or out-of-range masks, empty core sets, and
+    /// core sets overlapping another service's. Walks services in id order,
+    /// keeps the first claimant of contested cores, and moves later
+    /// claimants onto free cores (way overlap is legal — LLC sharing).
+    fn repair_layout<S: Substrate>(&mut self, server: &mut S, report: &mut RecoveryReport) {
+        let topo = server.topology().clone();
+        let mut ids = server.apps();
+        ids.sort_by_key(|id| id.0);
+        let mut used = CoreSet::new();
+        for &id in &ids {
+            let Some(alloc) = server.allocation(id) else { continue };
+            let cores_bad = alloc.cores.is_empty()
+                || alloc.cores.validate(&topo).is_err()
+                || alloc.cores.overlaps(used);
+            let ways_bad = alloc.ways.validate(&topo).is_err();
+            if !cores_bad && !ways_bad {
+                used = used.union(alloc.cores);
+                continue;
+            }
+            // Rebuild the broken half from resources no other service holds.
+            let mut free = CoreSet::all(&topo).difference(used);
+            for &other in &ids {
+                if other != id {
+                    if let Some(a) = server.allocation(other) {
+                        free = free.difference(a.cores);
+                    }
+                }
+            }
+            let cores = if cores_bad {
+                let want = alloc.cores.count().clamp(1, free.count().max(1));
+                free.pick_spread(&topo, want.min(free.count()))
+                    .filter(|c| !c.is_empty())
+                    .or_else(|| free.iter().next().map(|c| CoreSet::from_cores([c])))
+                    .unwrap_or(alloc.cores) // machine full: nothing to give
+            } else {
+                alloc.cores
+            };
+            let ways = if ways_bad { WayMask::first_n(2.min(topo.llc_ways())) } else { alloc.ways };
+            let repaired = Allocation::new(cores, ways, alloc.mba);
+            if repaired != alloc && server.reallocate(id, repaired).is_ok() {
+                report.drift_repaired += 1;
+                used = used.union(repaired.cores);
+            } else {
+                used = used.union(alloc.cores);
+            }
+        }
+    }
+}
+
 impl Scheduler for OsmlScheduler {
     fn name(&self) -> &'static str {
         "osml"
@@ -1184,6 +1456,7 @@ impl Scheduler for OsmlScheduler {
             server,
             self.config.actuation_retry_budget,
             self.config.retry_backoff_base_ms,
+            self.config.max_backoff_ms,
         );
         let placement = self.algorithm_1(&mut server, id);
         self.note_faults(&mut server);
@@ -1195,6 +1468,7 @@ impl Scheduler for OsmlScheduler {
             server,
             self.config.actuation_retry_budget,
             self.config.retry_backoff_base_ms,
+            self.config.max_backoff_ms,
         );
         let server = &mut server;
         self.ticks += 1;

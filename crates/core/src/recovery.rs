@@ -1,0 +1,568 @@
+//! Durable scheduler state: versioned, checksummed snapshots plus a
+//! write-ahead decision journal.
+//!
+//! The OSML controller is a long-running user-level daemon; when it crashes,
+//! the hardware allocations it programmed (CAT/MBA/taskset) persist on the
+//! machine while every piece of controller state — per-app records, watchdog
+//! status, Model-C's online learning — evaporates. This module makes that
+//! state durable so a restarted controller picks up where the dead one
+//! stopped instead of re-profiling the world from scratch:
+//!
+//! * [`SchedulerSnapshot`] captures the full controller state (app records,
+//!   tick/action counters, watchdog health, the event log) at a checkpoint.
+//!   On disk it travels inside a versioned envelope whose FNV-1a checksum
+//!   covers the serialized payload, so a torn or bit-flipped file is
+//!   *detected* — [`RecoveryError::ChecksumMismatch`] — never half-parsed
+//!   into plausible-looking garbage.
+//! * The **journal** is an append-only JSONL file of
+//!   [`osml_telemetry::TraceRecord`]s, one per committed action, written by
+//!   [`osml_telemetry::JournalSink`] *before* effects are observable to the
+//!   next checkpoint. State is reconstructed as snapshot + replay of the
+//!   journal suffix (records with `tick > snapshot.ticks`).
+//! * [`RecoveryStore`] owns both files. Snapshot writes are crash-atomic
+//!   (temp file + rename); the journal is append-only and flushed per
+//!   record, so at most the final line can be torn — the reader tolerates
+//!   exactly that.
+//!
+//! Reconciliation against the live substrate (adopting orphans, dropping
+//! departed apps, repairing drifted layouts) lives in
+//! `OsmlScheduler::recover`; this module is only the durable format.
+
+use crate::{EventLog, OsmlConfig};
+use osml_models::{Action, OaaPrediction};
+use osml_platform::{Allocation, CounterSample};
+use osml_telemetry::TraceRecord;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Format version written into every snapshot envelope; bumped on breaking
+/// changes to the snapshot schema. A mismatch is surfaced as
+/// [`RecoveryError::VersionMismatch`] and the controller cold-starts.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Durable image of one service's controller state — the serializable
+/// mirror of the scheduler's private per-app record, minus the in-flight
+/// pending action (a pending grant/reclaim cannot be settled across an
+/// outage: the "after" sample would include the downtime, poisoning
+/// Model-C's reward, so recovery abandons it and counts it in the
+/// [`RecoveryReport`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppSnapshot {
+    /// Raw service id.
+    pub id: u64,
+    /// Model-A's OAA/RCliff prediction for the service.
+    pub prediction: OaaPrediction,
+    /// The allocation the controller believed the service held at snapshot
+    /// time (reconciliation diffs this against the substrate to detect
+    /// mutation-underneath drift; the substrate remains ground truth).
+    pub allocation: Option<Allocation>,
+    /// Whether an action was pending settlement when the snapshot was
+    /// taken (abandoned on recovery; see the type docs).
+    pub had_pending: bool,
+    /// Ticks remaining before Algorithm 3 may reclaim again.
+    pub reclaim_cooldown: usize,
+    /// Withdrawn growth actions and their remaining blocked ticks.
+    pub blocked: Vec<(Action, usize)>,
+    /// Proven minimal allocation `(cores, ways, cpu_usage at proof time)`.
+    pub reclaim_floor: Option<(usize, usize, f64)>,
+    /// Whether a migration request is outstanding.
+    pub migration_requested: bool,
+    /// Consecutive ticks in guarded QoS violation.
+    pub violation_ticks: usize,
+    /// Last valid counter window (hold-last-good source).
+    pub last_good: Option<CounterSample>,
+    /// Watchdog strikes accumulated.
+    pub failed_ml_actions: u32,
+    /// Whether the heuristic fallback is driving the service.
+    pub fallback: bool,
+    /// Healthy ticks accumulated toward leaving fallback.
+    pub fallback_ok_ticks: u32,
+}
+
+/// Durable image of the whole controller at one checkpoint.
+///
+/// Everything needed to resume scheduling is here *except* Model-C's online
+/// learning state, which is checkpointed separately through
+/// `osml_ml::store::ModelStore::save_agent` (it is orders of magnitude
+/// larger and on its own cadence), and the allocations themselves, which
+/// live on the machine and survive the crash by construction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerSnapshot {
+    /// Ticks executed when the snapshot was taken. Journal records with
+    /// `tick > ticks` are the replay suffix.
+    pub ticks: u64,
+    /// Scheduling actions committed so far (Fig. 15 accounting).
+    pub actions: usize,
+    /// Simulated time of the most recent observed platform fault.
+    pub last_fault_s: Option<f64>,
+    /// Cumulative persistent actuation failures.
+    pub persistent_failures: u32,
+    /// The configuration the controller was running with. Warm restart
+    /// resumes under this config, not the binary's default — a restart must
+    /// not silently change policy.
+    pub config: OsmlConfig,
+    /// The decision log (Fig. 13/16 source data survives the restart).
+    pub log: EventLog,
+    /// Per-service records, sorted by id.
+    pub apps: Vec<AppSnapshot>,
+}
+
+/// The on-disk envelope: `{version, checksum, payload}` where `payload` is
+/// the JSON-serialized [`SchedulerSnapshot`] and `checksum` is the FNV-1a-64
+/// digest of the payload bytes.
+#[derive(Serialize, Deserialize)]
+struct SnapshotEnvelope {
+    version: u32,
+    checksum: u64,
+    payload: String,
+}
+
+/// FNV-1a 64-bit digest. One substituted byte always changes the digest
+/// (XOR keeps the difference, multiplication by the odd FNV prime is
+/// invertible mod 2⁶⁴), which is the property the corruption tests pin.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Errors from snapshot persistence and decoding.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum RecoveryError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The file is not a valid envelope or payload (torn write, truncation,
+    /// hand-editing).
+    Corrupt(String),
+    /// The envelope was written by an incompatible snapshot version.
+    VersionMismatch {
+        /// Version found in the envelope.
+        found: u32,
+        /// Version this build expects.
+        expected: u32,
+    },
+    /// The payload does not hash to the envelope's checksum (bit rot or a
+    /// partial overwrite).
+    ChecksumMismatch {
+        /// Digest recorded in the envelope.
+        expected: u64,
+        /// Digest of the payload actually found.
+        found: u64,
+    },
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::Io(e) => write!(f, "recovery store i/o error: {e}"),
+            RecoveryError::Corrupt(why) => write!(f, "snapshot corrupt: {why}"),
+            RecoveryError::VersionMismatch { found, expected } => {
+                write!(f, "snapshot version {found} incompatible with expected {expected}")
+            }
+            RecoveryError::ChecksumMismatch { expected, found } => {
+                write!(f, "snapshot checksum mismatch: envelope says {expected:#x}, payload hashes to {found:#x}")
+            }
+        }
+    }
+}
+
+impl Error for RecoveryError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RecoveryError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for RecoveryError {
+    fn from(e: std::io::Error) -> Self {
+        RecoveryError::Io(e)
+    }
+}
+
+/// Encodes a snapshot into its checksummed envelope JSON.
+pub fn encode_snapshot(snapshot: &SchedulerSnapshot) -> String {
+    let payload = serde_json::to_string(snapshot).expect("snapshot serializes");
+    let envelope = SnapshotEnvelope {
+        version: SNAPSHOT_VERSION,
+        checksum: fnv1a64(payload.as_bytes()),
+        payload,
+    };
+    serde_json::to_string(&envelope).expect("envelope serializes")
+}
+
+/// Decodes and verifies an envelope produced by [`encode_snapshot`].
+///
+/// # Errors
+///
+/// [`RecoveryError::Corrupt`] if the envelope or payload fails to parse,
+/// [`RecoveryError::VersionMismatch`] for a foreign schema version, and
+/// [`RecoveryError::ChecksumMismatch`] if the payload bytes do not hash to
+/// the recorded digest. Corruption is always one of these errors — a
+/// damaged snapshot never decodes into a different valid snapshot.
+pub fn decode_snapshot(text: &str) -> Result<SchedulerSnapshot, RecoveryError> {
+    let envelope: SnapshotEnvelope =
+        serde_json::from_str(text).map_err(|e| RecoveryError::Corrupt(format!("envelope: {e}")))?;
+    if envelope.version != SNAPSHOT_VERSION {
+        return Err(RecoveryError::VersionMismatch {
+            found: envelope.version,
+            expected: SNAPSHOT_VERSION,
+        });
+    }
+    let found = fnv1a64(envelope.payload.as_bytes());
+    if found != envelope.checksum {
+        return Err(RecoveryError::ChecksumMismatch { expected: envelope.checksum, found });
+    }
+    serde_json::from_str(&envelope.payload)
+        .map_err(|e| RecoveryError::Corrupt(format!("payload: {e}")))
+}
+
+/// A directory holding the controller's durable state: `snapshot.json`
+/// (checksummed envelope, atomically replaced at each checkpoint) and
+/// `journal.jsonl` (append-only write-ahead decision journal).
+#[derive(Debug, Clone)]
+pub struct RecoveryStore {
+    dir: PathBuf,
+}
+
+impl RecoveryStore {
+    /// Opens (creating if needed) a store at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// [`RecoveryError::Io`] if the directory cannot be created.
+    pub fn open<P: AsRef<Path>>(dir: P) -> Result<Self, RecoveryError> {
+        std::fs::create_dir_all(dir.as_ref())?;
+        Ok(RecoveryStore { dir: dir.as_ref().to_path_buf() })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the snapshot envelope.
+    pub fn snapshot_path(&self) -> PathBuf {
+        self.dir.join("snapshot.json")
+    }
+
+    /// Path of the write-ahead decision journal (feed this to
+    /// [`osml_telemetry::JournalSink::append`]).
+    pub fn journal_path(&self) -> PathBuf {
+        self.dir.join("journal.jsonl")
+    }
+
+    /// Persists a snapshot crash-atomically (temp file + rename): a kill at
+    /// any instant leaves the previous snapshot intact.
+    ///
+    /// # Errors
+    ///
+    /// [`RecoveryError::Io`] on write failure.
+    pub fn save_snapshot(&self, snapshot: &SchedulerSnapshot) -> Result<(), RecoveryError> {
+        osml_ml::store::write_atomic(&self.snapshot_path(), &encode_snapshot(snapshot))?;
+        Ok(())
+    }
+
+    /// Loads the most recent snapshot. `Ok(None)` means no snapshot exists
+    /// (first boot); a snapshot that exists but fails verification is an
+    /// error — the caller decides to cold-start, this layer never guesses.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`decode_snapshot`] reports, plus [`RecoveryError::Io`]
+    /// for unreadable files.
+    pub fn load_snapshot(&self) -> Result<Option<SchedulerSnapshot>, RecoveryError> {
+        let path = self.snapshot_path();
+        if !path.exists() {
+            return Ok(None);
+        }
+        let text = std::fs::read_to_string(&path)?;
+        decode_snapshot(&text).map(Some)
+    }
+
+    /// Reads the write-ahead journal, oldest first. A missing journal is an
+    /// empty one. Because each record is flushed before the next is
+    /// appended, only the final line can be torn by a crash; reading stops
+    /// at the first unparseable line and keeps everything before it.
+    pub fn read_journal(&self) -> Vec<TraceRecord> {
+        let Ok(text) = std::fs::read_to_string(self.journal_path()) else {
+            return Vec::new();
+        };
+        let mut records = Vec::new();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match serde_json::from_str::<TraceRecord>(line) {
+                Ok(rec) => records.push(rec),
+                Err(_) => break, // torn tail: keep the committed prefix
+            }
+        }
+        records
+    }
+
+    /// Removes the snapshot and journal (fresh-start; used by harnesses
+    /// between experiments).
+    ///
+    /// # Errors
+    ///
+    /// [`RecoveryError::Io`] on a removal failure other than the files not
+    /// existing.
+    pub fn clear(&self) -> Result<(), RecoveryError> {
+        for path in [self.snapshot_path(), self.journal_path()] {
+            match std::fs::remove_file(&path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// How `OsmlScheduler::recover` rebuilt the controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RecoveryMode {
+    /// A verified snapshot was restored and the journal suffix replayed.
+    Warm,
+    /// No usable snapshot — every running service was adopted cold.
+    Cold {
+        /// Why the snapshot was unusable (`"no snapshot"`, checksum
+        /// mismatch, version mismatch, …).
+        reason: String,
+    },
+}
+
+/// What reconciliation found and did during `OsmlScheduler::recover`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// Warm (snapshot + journal) or cold (adopt-everything) restart.
+    pub mode: RecoveryMode,
+    /// Services restored from their snapshot records.
+    pub restored: usize,
+    /// Orphaned services found on the substrate with no snapshot record
+    /// (launched while the controller was down) and adopted.
+    pub adopted: usize,
+    /// Snapshot records whose service no longer runs (departed while the
+    /// controller was down) and were dropped.
+    pub dropped: usize,
+    /// Restored services whose in-flight pending action was abandoned.
+    pub pending_abandoned: usize,
+    /// Restored services whose live allocation differed from the snapshot
+    /// (mutated underneath the dead controller). The substrate value wins.
+    pub alloc_drift: usize,
+    /// Services whose live layout was invalid (overlapping cores, malformed
+    /// masks) and was repaired during reconciliation.
+    pub drift_repaired: usize,
+    /// Journal records newer than the snapshot that were replayed into the
+    /// action/tick counters.
+    pub journal_replayed: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osml_workloads::oaa::AllocPoint;
+    use proptest::prelude::*;
+
+    fn sample(latency_ms: f64) -> CounterSample {
+        CounterSample {
+            ipc: 1.2,
+            llc_misses_per_sec: 3.0e7,
+            mbl_gbps: 4.0,
+            cpu_usage: 3.5,
+            memory_util_gb: 2.0,
+            virt_memory_gb: 3.0,
+            res_memory_gb: 1.5,
+            llc_occupancy_mb: 12.0,
+            allocated_cores: 8,
+            allocated_ways: 6,
+            frequency_ghz: 2.3,
+            response_latency_ms: latency_ms,
+        }
+    }
+
+    /// Deterministic-but-varied app snapshot (drives structural coverage:
+    /// options, tuples, enums, nested vecs).
+    fn app(id: u64) -> AppSnapshot {
+        let k = id as usize;
+        AppSnapshot {
+            id,
+            prediction: OaaPrediction::new(
+                AllocPoint::new(1 + k % 16, 1 + k % 11),
+                0.1 * k as f64,
+                AllocPoint::new(1 + k % 4, 1 + k % 3),
+            ),
+            allocation: (!k.is_multiple_of(3)).then(|| {
+                Allocation::new(
+                    osml_platform::CoreSet::first_n(1 + k % 8),
+                    osml_platform::WayMask::contiguous(k % 5, 1 + k % 6).unwrap(),
+                    osml_platform::MbaThrottle::unthrottled(),
+                )
+            }),
+            had_pending: k.is_multiple_of(2),
+            reclaim_cooldown: k % 10,
+            blocked: (0..k % 3)
+                .map(|i| (Action { dcores: (i as i32) - 1, dways: 1 }, 5 + i))
+                .collect(),
+            reclaim_floor: (k % 4 == 1).then(|| (1 + k % 6, 1 + k % 6, 0.5 * k as f64)),
+            migration_requested: k.is_multiple_of(5),
+            violation_ticks: k % 7,
+            last_good: (k % 2 == 1).then(|| sample(10.0 + k as f64)),
+            failed_ml_actions: (k % 4) as u32,
+            fallback: k.is_multiple_of(6),
+            fallback_ok_ticks: (k % 3) as u32,
+        }
+    }
+
+    fn snapshot_from(ticks: u64, napps: usize, faulty: bool) -> SchedulerSnapshot {
+        let mut log = EventLog::new();
+        log.push(
+            1.0,
+            Some(osml_platform::AppId(1)),
+            crate::EventKind::FaultInjected { transient: true },
+        );
+        SchedulerSnapshot {
+            ticks,
+            actions: (ticks as usize) * 2 + napps,
+            last_fault_s: faulty.then_some(ticks as f64 * 0.5),
+            persistent_failures: (ticks % 5) as u32,
+            config: OsmlConfig { sampling_window_s: 1.0 + ticks as f64, ..OsmlConfig::default() },
+            log,
+            apps: (0..napps as u64).map(app).collect(),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// serialize → checksum → deserialize is the identity.
+        #[test]
+        fn snapshot_round_trips(ticks in 0u64..100_000, napps in 0usize..9, f in 0u8..2) {
+            let snap = snapshot_from(ticks, napps, f == 1);
+            let decoded = decode_snapshot(&encode_snapshot(&snap)).expect("round trip");
+            prop_assert_eq!(decoded, snap);
+        }
+
+        /// A corrupted envelope is always *detected*: decoding either fails
+        /// typed, or (vacuously) still equals the original — it never
+        /// half-parses into a different valid snapshot.
+        #[test]
+        fn corruption_is_detected_never_misparsed(
+            ticks in 0u64..10_000,
+            napps in 1usize..6,
+            pos_seed in 0usize..1_000_000,
+            byte in 0u8..94,
+        ) {
+            let snap = snapshot_from(ticks, napps, true);
+            let text = encode_snapshot(&snap);
+            let bytes = text.as_bytes();
+            let pos = pos_seed % bytes.len();
+            let replacement = b' ' + byte; // printable ASCII, keeps UTF-8 valid
+            prop_assume!(replacement != bytes[pos]);
+            let mut corrupted = bytes.to_vec();
+            corrupted[pos] = replacement;
+            let corrupted = String::from_utf8(corrupted).expect("ascii substitution");
+            match decode_snapshot(&corrupted) {
+                Err(_) => {}
+                Ok(decoded) => prop_assert_eq!(
+                    decoded, snap,
+                    "a corrupt snapshot decoded into *different* state"
+                ),
+            }
+        }
+
+        /// Truncation (the torn-write shape a crash produces) never parses.
+        #[test]
+        fn truncation_is_detected(ticks in 0u64..10_000, keep_per_mille in 0usize..1000) {
+            let snap = snapshot_from(ticks, 3, false);
+            let text = encode_snapshot(&snap);
+            let keep = text.len() * keep_per_mille / 1000;
+            prop_assume!(keep < text.len());
+            let truncated: String = text.chars().take(keep).collect();
+            prop_assert!(decode_snapshot(&truncated).is_err());
+        }
+    }
+
+    #[test]
+    fn store_persists_and_reloads() {
+        let dir = std::env::temp_dir().join(format!("osml-recovery-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = RecoveryStore::open(&dir).unwrap();
+        assert!(store.load_snapshot().unwrap().is_none(), "first boot has no snapshot");
+        let snap = snapshot_from(42, 4, true);
+        store.save_snapshot(&snap).unwrap();
+        assert_eq!(store.load_snapshot().unwrap(), Some(snap.clone()));
+        // Overwrite with a newer snapshot; the newest wins.
+        let newer = snapshot_from(43, 4, true);
+        store.save_snapshot(&newer).unwrap();
+        assert_eq!(store.load_snapshot().unwrap(), Some(newer));
+        store.clear().unwrap();
+        assert!(store.load_snapshot().unwrap().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tampered_snapshot_file_is_rejected() {
+        let dir = std::env::temp_dir().join(format!("osml-recovery-tamper-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = RecoveryStore::open(&dir).unwrap();
+        store.save_snapshot(&snapshot_from(7, 2, false)).unwrap();
+        // Inside the envelope the payload is an escaped JSON string, so the
+        // field appears as `\"ticks\":7`.
+        let text = std::fs::read_to_string(store.snapshot_path()).unwrap();
+        assert!(text.contains("\\\"ticks\\\":7"), "tamper target must exist");
+        std::fs::write(store.snapshot_path(), text.replace("\\\"ticks\\\":7", "\\\"ticks\\\":9"))
+            .unwrap();
+        assert!(matches!(store.load_snapshot(), Err(RecoveryError::ChecksumMismatch { .. })));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn foreign_version_is_rejected() {
+        let snap = snapshot_from(1, 1, false);
+        let text = encode_snapshot(&snap).replacen("\"version\":1", "\"version\":99", 1);
+        assert!(matches!(
+            decode_snapshot(&text),
+            Err(RecoveryError::VersionMismatch { found: 99, expected: 1 })
+        ));
+    }
+
+    #[test]
+    fn journal_reader_tolerates_a_torn_tail() {
+        let dir =
+            std::env::temp_dir().join(format!("osml-recovery-journal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = RecoveryStore::open(&dir).unwrap();
+        assert!(store.read_journal().is_empty(), "missing journal reads as empty");
+        let rec = |tick: u64| osml_telemetry::TraceRecord {
+            tick,
+            time_s: tick as f64,
+            app: Some(1),
+            kind: osml_telemetry::ActionKind::Grant,
+            provenance: osml_telemetry::Provenance::ModelC,
+            pre: None,
+            post: None,
+            counts_as_action: true,
+            detail: None,
+        };
+        let mut text = String::new();
+        for t in 0..3 {
+            text.push_str(&serde_json::to_string(&rec(t)).unwrap());
+            text.push('\n');
+        }
+        text.push_str("{\"tick\":3,\"time_s\":3.0,\"app"); // torn mid-write
+        std::fs::write(store.journal_path(), &text).unwrap();
+        let records = store.read_journal();
+        assert_eq!(records.len(), 3, "committed prefix survives, torn tail is dropped");
+        assert_eq!(records[2].tick, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

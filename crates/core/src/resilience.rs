@@ -30,7 +30,12 @@ pub(crate) struct RetryStats {
     /// Actuations that succeeded after one or more retries.
     pub retried: Vec<RetryBurst>,
     /// Actuations whose whole retry budget was exhausted (persistent
-    /// transient failures — the rollback trigger).
+    /// transient failures — the rollback trigger). Exhaustion is surfaced
+    /// here rather than only as the returned error so the scheduler's event
+    /// log can distinguish "succeeded after retries" from "gave up"; the
+    /// per-burst backoff recorded in [`RetryStats::retried`] is capped at
+    /// `OsmlConfig::max_backoff_ms`, so an exhausted budget never charges
+    /// unbounded simulated wait.
     pub persistent: u32,
 }
 
@@ -51,14 +56,19 @@ pub(crate) struct Retrying<'a, S: Substrate> {
     budget: u32,
     /// Backoff base, ms; retry *n* charges `base · 2ⁿ⁻¹`.
     backoff_base_ms: f64,
+    /// Ceiling on the total backoff charged to one actuation, ms. The
+    /// exponential series saturates here explicitly (previously the
+    /// exponent was silently clamped at 2¹⁶, which mis-charged long retry
+    /// chains instead of capping them).
+    max_backoff_ms: f64,
     /// Observations pending a drain by the scheduler.
     pub stats: RetryStats,
 }
 
 impl<'a, S: Substrate> Retrying<'a, S> {
-    /// Wraps `inner` with a retry budget.
-    pub fn new(inner: &'a mut S, budget: u32, backoff_base_ms: f64) -> Self {
-        Retrying { inner, budget, backoff_base_ms, stats: RetryStats::default() }
+    /// Wraps `inner` with a retry budget and a total-backoff cap.
+    pub fn new(inner: &'a mut S, budget: u32, backoff_base_ms: f64, max_backoff_ms: f64) -> Self {
+        Retrying { inner, budget, backoff_base_ms, max_backoff_ms, stats: RetryStats::default() }
     }
 
     /// Drains the accumulated observations.
@@ -90,8 +100,11 @@ impl<S: Substrate> Substrate for Retrying<'_, S> {
                         self.stats.persistent += 1;
                         return Err(e);
                     }
-                    // Accounting only: charge the backoff, don't sleep.
-                    backoff_ms += self.backoff_base_ms * f64::from(1u32 << (attempts - 1).min(16));
+                    // Accounting only: charge the backoff, don't sleep. The
+                    // exponential term is computed in f64 (no u32 shift to
+                    // overflow) and the running total saturates at the cap.
+                    let step = self.backoff_base_ms * 2f64.powi((attempts - 1).min(1023) as i32);
+                    backoff_ms = (backoff_ms + step).min(self.max_backoff_ms);
                 }
                 // Permanent errors (malformed request, unknown app) are the
                 // caller's bug or a departure race; retrying cannot help.
@@ -204,10 +217,14 @@ mod tests {
         )
     }
 
+    /// The default cap from `OsmlConfig` — high enough that these
+    /// small-budget tests keep their historical charged values.
+    const CAP_MS: f64 = 1000.0;
+
     #[test]
     fn retries_within_budget_succeed_and_are_recorded() {
         let mut flaky = Flaky::new(2);
-        let mut retrying = Retrying::new(&mut flaky, 3, 1.0);
+        let mut retrying = Retrying::new(&mut flaky, 3, 1.0, CAP_MS);
         assert!(retrying.reallocate(AppId(1), some_alloc()).is_ok());
         let stats = retrying.take_stats();
         assert_eq!(stats.faults.len(), 2);
@@ -220,7 +237,7 @@ mod tests {
     #[test]
     fn exhausted_budget_is_a_persistent_failure() {
         let mut flaky = Flaky::new(100);
-        let mut retrying = Retrying::new(&mut flaky, 3, 1.0);
+        let mut retrying = Retrying::new(&mut flaky, 3, 1.0, CAP_MS);
         let err = retrying.reallocate(AppId(1), some_alloc()).unwrap_err();
         assert!(err.is_transient());
         let stats = retrying.take_stats();
@@ -233,7 +250,7 @@ mod tests {
     #[test]
     fn permanent_errors_are_never_retried() {
         let mut flaky = Flaky::new(0);
-        let mut retrying = Retrying::new(&mut flaky, 3, 1.0);
+        let mut retrying = Retrying::new(&mut flaky, 3, 1.0, CAP_MS);
         let err = retrying.reallocate(AppId(99), some_alloc()).unwrap_err();
         assert!(!err.is_transient());
         assert!(retrying.take_stats().is_empty());
@@ -243,8 +260,34 @@ mod tests {
     #[test]
     fn success_without_faults_leaves_no_trace() {
         let mut flaky = Flaky::new(0);
-        let mut retrying = Retrying::new(&mut flaky, 3, 1.0);
+        let mut retrying = Retrying::new(&mut flaky, 3, 1.0, CAP_MS);
         assert!(retrying.reallocate(AppId(1), some_alloc()).is_ok());
         assert!(retrying.take_stats().is_empty());
+    }
+
+    /// Pins the charged-backoff series: pure doubling below the cap
+    /// (1+2+4+… ms), saturation at `max_backoff_ms` once the cap binds, and
+    /// no exponent wrap-around at large budgets (the old `1u32 << n.min(16)`
+    /// clamp silently froze the *step* at 2¹⁶ instead of capping the total).
+    #[test]
+    fn charged_backoff_series_doubles_then_saturates_at_the_cap() {
+        // Below the cap: 4 retries then success charges 1+2+4+8 = 15 ms.
+        let mut flaky = Flaky::new(4);
+        let mut retrying = Retrying::new(&mut flaky, 10, 1.0, CAP_MS);
+        assert!(retrying.reallocate(AppId(1), some_alloc()).is_ok());
+        assert_eq!(retrying.take_stats().retried, vec![(AppId(1), 5, 15.0)]);
+
+        // Cap binding: the series 1+2+4+8+16+32 = 63 truncates at 50.
+        let mut flaky = Flaky::new(6);
+        let mut retrying = Retrying::new(&mut flaky, 10, 1.0, 50.0);
+        assert!(retrying.reallocate(AppId(1), some_alloc()).is_ok());
+        assert_eq!(retrying.take_stats().retried, vec![(AppId(1), 7, 50.0)]);
+
+        // A budget deep past the old 2¹⁶ exponent clamp charges exactly the
+        // cap — finite, monotone, no wrap.
+        let mut flaky = Flaky::new(80);
+        let mut retrying = Retrying::new(&mut flaky, 100, 1.0, CAP_MS);
+        assert!(retrying.reallocate(AppId(1), some_alloc()).is_ok());
+        assert_eq!(retrying.take_stats().retried, vec![(AppId(1), 81, CAP_MS)]);
     }
 }

@@ -76,7 +76,7 @@ pub struct Transition {
 }
 
 /// The Experience Pool: a fixed-capacity ring buffer of transitions.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ReplayBuffer {
     capacity: usize,
     items: Vec<Transition>,
@@ -118,6 +118,29 @@ impl ReplayBuffer {
     pub fn sample<'a>(&'a self, n: usize, rng: &mut StdRng) -> Vec<&'a Transition> {
         (0..n).map(|_| &self.items[rng.gen_range(0..self.items.len())]).collect()
     }
+}
+
+/// A complete serialized [`Dqn`] agent: both networks, the experience pool,
+/// the optimizer moments and the exploration RNG stream position. Restoring
+/// a checkpoint with [`Dqn::restore`] resumes training and action selection
+/// exactly where the checkpointed agent left off — the restored agent is
+/// behaviourally indistinguishable from one that never stopped.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DqnCheckpoint {
+    /// The agent's configuration.
+    pub config: DqnConfig,
+    /// The policy network.
+    pub policy: Mlp,
+    /// The target network (may lag the policy between syncs).
+    pub target: Mlp,
+    /// The experience pool, including its ring write cursor.
+    pub replay: ReplayBuffer,
+    /// Adam first/second moments and step counter.
+    pub adam: Adam,
+    /// Raw state of the exploration/sampling RNG.
+    pub rng_state: [u64; 4],
+    /// Policy updates performed so far (drives target-sync cadence).
+    pub updates: usize,
 }
 
 /// A Deep Q-Network agent: policy network, target network, experience pool.
@@ -239,6 +262,32 @@ impl Dqn {
     /// Read access to the policy network (for persistence).
     pub fn policy(&self) -> &Mlp {
         &self.policy
+    }
+
+    /// Captures the agent's complete state for durable persistence.
+    pub fn checkpoint(&self) -> DqnCheckpoint {
+        DqnCheckpoint {
+            config: self.config.clone(),
+            policy: self.policy.clone(),
+            target: self.target.clone(),
+            replay: self.replay.clone(),
+            adam: self.adam.clone(),
+            rng_state: self.rng.state(),
+            updates: self.updates,
+        }
+    }
+
+    /// Rebuilds an agent from a [`DqnCheckpoint`].
+    pub fn restore(ck: DqnCheckpoint) -> Self {
+        Dqn {
+            rng: StdRng::from_state(ck.rng_state),
+            config: ck.config,
+            policy: ck.policy,
+            target: ck.target,
+            replay: ck.replay,
+            adam: ck.adam,
+            updates: ck.updates,
+        }
     }
 
     /// Replaces both networks with `policy` (used when loading a trained

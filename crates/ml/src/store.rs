@@ -5,6 +5,7 @@
 //! JSON-serialized [`Mlp`]s with a format-version guard, so a trained suite
 //! survives process restarts and can be shipped between machines.
 
+use crate::dqn::DqnCheckpoint;
 use crate::Mlp;
 use serde::{Deserialize, Serialize};
 use std::error::Error;
@@ -30,6 +31,12 @@ pub enum StoreError {
         /// Version this build expects.
         expected: u32,
     },
+    /// The model name is empty or contains a path separator — accepting it
+    /// would let a caller-supplied name escape the store directory.
+    InvalidName {
+        /// The rejected name.
+        name: String,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -40,6 +47,9 @@ impl fmt::Display for StoreError {
             StoreError::VersionMismatch { found, expected } => {
                 write!(f, "model store version {found} incompatible with expected {expected}")
             }
+            StoreError::InvalidName { name } => {
+                write!(f, "invalid model name {name:?}: must be non-empty, no path separators")
+            }
         }
     }
 }
@@ -49,7 +59,7 @@ impl Error for StoreError {
         match self {
             StoreError::Io(e) => Some(e),
             StoreError::Parse(e) => Some(e),
-            StoreError::VersionMismatch { .. } => None,
+            StoreError::VersionMismatch { .. } | StoreError::InvalidName { .. } => None,
         }
     }
 }
@@ -71,6 +81,34 @@ struct StoredModel {
     version: u32,
     name: String,
     mlp: Mlp,
+}
+
+#[derive(Serialize, Deserialize)]
+struct StoredAgent {
+    version: u32,
+    name: String,
+    agent: DqnCheckpoint,
+}
+
+/// Checks a caller-supplied model name: non-empty, no path separators, no
+/// parent-directory traversal.
+fn validate_name(name: &str) -> Result<(), StoreError> {
+    let traversal = name == "." || name == "..";
+    if name.is_empty() || traversal || name.contains(['/', '\\']) {
+        return Err(StoreError::InvalidName { name: name.to_owned() });
+    }
+    Ok(())
+}
+
+/// Writes `contents` to `path` crash-atomically: the bytes land in a temp
+/// file in the same directory, which is then `rename`d over the target. A
+/// kill at any instant leaves either the old file or the new one — never a
+/// torn write that poisons the next startup. Shared by the store and by the
+/// bench report writer (the results files feed the same restart path).
+pub fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
 }
 
 /// A directory of named, versioned model files.
@@ -110,16 +148,23 @@ impl ModelStore {
         self.dir.join(format!("{name}.json"))
     }
 
-    /// Saves `mlp` under `name`, overwriting any previous version.
+    fn agent_path(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{name}.agent.json"))
+    }
+
+    /// Saves `mlp` under `name`, overwriting any previous version. The write
+    /// is crash-atomic (temp file + rename).
     ///
     /// # Errors
     ///
-    /// Returns [`StoreError::Io`] on write failure.
+    /// Returns [`StoreError::InvalidName`] for an empty name or one with
+    /// path separators, or [`StoreError::Io`] on write failure.
     pub fn save(&self, name: &str, mlp: &Mlp) -> Result<(), StoreError> {
+        validate_name(name)?;
         let stored =
             StoredModel { version: STORE_VERSION, name: name.to_owned(), mlp: mlp.clone() };
         let json = serde_json::to_string(&stored)?;
-        std::fs::write(self.path(name), json)?;
+        write_atomic(&self.path(name), &json)?;
         Ok(())
     }
 
@@ -127,10 +172,12 @@ impl ModelStore {
     ///
     /// # Errors
     ///
-    /// Returns [`StoreError::Io`] if the file is missing,
+    /// Returns [`StoreError::InvalidName`] for a malformed name,
+    /// [`StoreError::Io`] if the file is missing,
     /// [`StoreError::Parse`] if it is corrupt, or
     /// [`StoreError::VersionMismatch`] if it predates [`STORE_VERSION`].
     pub fn load(&self, name: &str) -> Result<Mlp, StoreError> {
+        validate_name(name)?;
         let json = std::fs::read_to_string(self.path(name))?;
         let stored: StoredModel = serde_json::from_str(&json)?;
         if stored.version != STORE_VERSION {
@@ -140,6 +187,48 @@ impl ModelStore {
             });
         }
         Ok(stored.mlp)
+    }
+
+    /// Saves a complete DQN agent checkpoint (policy + target nets, replay
+    /// ring, optimizer state, RNG position) under `name`, crash-atomically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::InvalidName`] for a malformed name or
+    /// [`StoreError::Io`] on write failure.
+    pub fn save_agent(&self, name: &str, agent: &DqnCheckpoint) -> Result<(), StoreError> {
+        validate_name(name)?;
+        let stored =
+            StoredAgent { version: STORE_VERSION, name: name.to_owned(), agent: agent.clone() };
+        let json = serde_json::to_string(&stored)?;
+        write_atomic(&self.agent_path(name), &json)?;
+        Ok(())
+    }
+
+    /// Loads the agent checkpoint stored under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::InvalidName`] for a malformed name,
+    /// [`StoreError::Io`] if the file is missing, [`StoreError::Parse`] if
+    /// it is corrupt, or [`StoreError::VersionMismatch`] if it predates
+    /// [`STORE_VERSION`].
+    pub fn load_agent(&self, name: &str) -> Result<DqnCheckpoint, StoreError> {
+        validate_name(name)?;
+        let json = std::fs::read_to_string(self.agent_path(name))?;
+        let stored: StoredAgent = serde_json::from_str(&json)?;
+        if stored.version != STORE_VERSION {
+            return Err(StoreError::VersionMismatch {
+                found: stored.version,
+                expected: STORE_VERSION,
+            });
+        }
+        Ok(stored.agent)
+    }
+
+    /// Whether an agent checkpoint named `name` exists in the store.
+    pub fn contains_agent(&self, name: &str) -> bool {
+        self.agent_path(name).exists()
     }
 
     /// Whether a model named `name` exists in the store.
@@ -215,6 +304,77 @@ mod tests {
             store.load("m"),
             Err(StoreError::VersionMismatch { found: 99, expected: 1 })
         ));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn invalid_names_are_rejected_before_touching_disk() {
+        let (store, dir) = temp_store("badname");
+        let mlp = Mlp::new(&MlpConfig::new(&[2, 2], 0));
+        for name in ["", "../escape", "a/b", "a\\b", ".", ".."] {
+            assert!(
+                matches!(store.save(name, &mlp), Err(StoreError::InvalidName { .. })),
+                "save must reject {name:?}"
+            );
+            assert!(
+                matches!(store.load(name), Err(StoreError::InvalidName { .. })),
+                "load must reject {name:?}"
+            );
+        }
+        // Nothing escaped the (still empty) store directory.
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn save_is_atomic_and_leaves_no_temp_file() {
+        let (store, dir) = temp_store("atomic");
+        let mlp = Mlp::new(&MlpConfig::new(&[2, 2], 0));
+        store.save("m", &mlp).unwrap();
+        store.save("m", &mlp).unwrap(); // overwrite path also goes through rename
+        let leftovers: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok()?.file_name().into_string().ok())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+        assert!(store.load("m").is_ok());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn agent_checkpoint_round_trips_through_the_store() {
+        use crate::dqn::{Dqn, DqnConfig, Transition};
+        let (store, dir) = temp_store("agent");
+        let mut cfg = DqnConfig::paper(2, 3, 21);
+        cfg.batch_size = 8;
+        let mut agent = Dqn::new(cfg);
+        for i in 0..16 {
+            agent.observe(Transition {
+                state: vec![i as f32, 0.0],
+                action: i % 3,
+                reward: (i % 2) as f32,
+                next_state: vec![0.0, 0.0],
+            });
+            agent.train_step();
+        }
+        store.save_agent("model-c", &agent.checkpoint()).unwrap();
+        assert!(store.contains_agent("model-c"));
+        let mut restored = Dqn::restore(store.load_agent("model-c").unwrap());
+        // Behavioural equivalence: identical Q-values AND an identical
+        // exploration stream from the restored RNG position.
+        assert_eq!(agent.q_values(&[0.5, 0.5]), restored.q_values(&[0.5, 0.5]));
+        let a: Vec<usize> = (0..32).map(|i| agent.select_action(&[i as f32, 1.0])).collect();
+        let b: Vec<usize> = (0..32).map(|i| restored.select_action(&[i as f32, 1.0])).collect();
+        assert_eq!(a, b);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_agent_checkpoint_is_a_parse_error() {
+        let (store, dir) = temp_store("agent-corrupt");
+        std::fs::write(dir.join("c.agent.json"), "{torn").unwrap();
+        assert!(matches!(store.load_agent("c"), Err(StoreError::Parse(_))));
         std::fs::remove_dir_all(dir).unwrap();
     }
 

@@ -1,5 +1,5 @@
 use crate::features;
-use osml_ml::dqn::{Dqn, DqnConfig, Transition};
+use osml_ml::dqn::{Dqn, DqnCheckpoint, DqnConfig, Transition};
 use osml_ml::Mlp;
 use osml_platform::CounterSample;
 use serde::{Deserialize, Serialize};
@@ -205,6 +205,26 @@ impl ModelC {
     /// Loads a trained policy network (replacing both networks).
     pub fn load_policy(&mut self, policy: Mlp) {
         self.dqn.load_policy(policy)
+    }
+
+    /// Captures the complete agent state (both networks, experience pool,
+    /// optimizer moments, RNG position) for durable persistence.
+    pub fn checkpoint(&self) -> DqnCheckpoint {
+        self.dqn.checkpoint()
+    }
+
+    /// Rebuilds a Model-C from a checkpoint captured by
+    /// [`ModelC::checkpoint`]. The restored model resumes exploration and
+    /// online training exactly where the checkpointed one stopped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint disagrees with the Model-C state width or
+    /// action count (a checkpoint from a different schema).
+    pub fn restore(ck: DqnCheckpoint) -> Self {
+        assert_eq!(ck.config.state_dim, features::MODEL_C_STATE, "state width is fixed");
+        assert_eq!(ck.config.num_actions, ACTIONS, "action count is fixed");
+        ModelC { dqn: Dqn::restore(ck) }
     }
 }
 

@@ -36,6 +36,6 @@ pub use metrics::{
     Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, LATENCY_US_BOUNDS,
 };
 pub use trace::{
-    ActionKind, AllocSnapshot, FileSink, Provenance, RingBufferSink, TelemetrySink, TraceOp,
-    TraceRecord,
+    ActionKind, AllocSnapshot, FileSink, JournalSink, Provenance, RingBufferSink, TelemetrySink,
+    TraceOp, TraceRecord,
 };

@@ -211,6 +211,55 @@ impl Drop for FileSink {
     }
 }
 
+/// A write-ahead decision journal sink: append-only JSONL, one line per
+/// *committed action* (records with `counts_as_action` — non-action records
+/// such as watchdog transitions are skipped), flushed after every line.
+///
+/// This is the durability half of crash recovery: because each record
+/// reaches the file before the next is appended, a crash can tear at most
+/// the final line, which the recovery reader drops. Unlike [`FileSink`] the
+/// journal opens in append mode, so a restarted controller continues the
+/// same journal instead of truncating its own history.
+#[derive(Debug)]
+pub struct JournalSink {
+    path: PathBuf,
+    file: File,
+}
+
+impl JournalSink {
+    /// Opens (creating if needed, never truncating) the journal at `path`,
+    /// creating parent directories as needed.
+    pub fn append(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = File::options().create(true).append(true).open(&path)?;
+        Ok(JournalSink { path, file })
+    }
+
+    /// The journal file being appended to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl TelemetrySink for JournalSink {
+    fn record(&mut self, rec: &TraceRecord) {
+        if !rec.counts_as_action {
+            return;
+        }
+        // As in FileSink, an I/O error on the telemetry pipe must not take
+        // the scheduler down; the record is lost, which recovery treats the
+        // same as a crash just before the action.
+        let line = serde_json::to_string(rec).expect("trace record serializes");
+        let _ = writeln!(self.file, "{line}");
+        let _ = self.file.flush();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,6 +297,30 @@ mod tests {
         assert_eq!(records[0].tick, 2);
         assert_eq!(records[2].tick, 4);
         assert_eq!(ring.dropped(), 2);
+    }
+
+    #[test]
+    fn journal_sink_appends_across_restarts_and_skips_non_actions() {
+        let path =
+            std::env::temp_dir().join(format!("osml-journal-test-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut sink = JournalSink::append(&path).unwrap();
+            sink.record(&rec(0));
+            let mut non_action = rec(1);
+            non_action.counts_as_action = false;
+            sink.record(&non_action); // skipped: journal is per committed action
+        }
+        {
+            // A "restarted controller" reopens the same journal: no truncation.
+            let mut sink = JournalSink::append(&path).unwrap();
+            sink.record(&rec(2));
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let ticks: Vec<u64> =
+            text.lines().map(|l| serde_json::from_str::<TraceRecord>(l).unwrap().tick).collect();
+        assert_eq!(ticks, vec![0, 2]);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -264,12 +264,23 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 encoded char.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    // Bulk-consume the run of plain characters up to the
+                    // next quote or escape, validating UTF-8 once for the
+                    // whole run. (Validating from `pos` to the end of the
+                    // document per character, as this once did, made
+                    // parsing quadratic — seconds on megabyte documents.)
+                    // Scanning bytes is safe: `"` and `\` are ASCII and
+                    // never appear inside a multi-byte UTF-8 sequence.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| Error::new("invalid utf-8 in string"))?;
-                    let c = rest.chars().next().expect("nonempty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(run);
                 }
             }
         }
@@ -354,6 +365,16 @@ mod tests {
     #[test]
     fn strings_escape_and_round_trip() {
         let original = "line\none \"two\" \\ tab\t ünïcødé \u{1}".to_string();
+        let s = to_string(&original).unwrap();
+        assert_eq!(from_str::<String>(&s).unwrap(), original);
+    }
+
+    #[test]
+    fn bulk_string_runs_parse_around_escapes_and_multibyte() {
+        // The fast path consumes plain runs in bulk; escapes and multi-byte
+        // characters must still be stitched together correctly at the
+        // boundaries, including a multi-byte char directly before a quote.
+        let original = format!("{}\\\"ünïcødé{}\"中", "a".repeat(4096), "b".repeat(4096));
         let s = to_string(&original).unwrap();
         assert_eq!(from_str::<String>(&s).unwrap(), original);
     }
