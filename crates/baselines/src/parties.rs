@@ -1,5 +1,5 @@
 use osml_platform::{
-    Allocation, AppId, CoreSet, MbaThrottle, Placement, Scheduler, Substrate, WayMask,
+    Allocation, AppId, CoreSet, MbaThrottle, Placement, RejectReason, Scheduler, Substrate, WayMask,
 };
 use osml_telemetry::{ActionKind, AllocSnapshot, Provenance, Telemetry, TraceRecord};
 use std::collections::BTreeMap;
@@ -262,6 +262,17 @@ impl Scheduler for Parties {
     }
 
     fn on_arrival<S: Substrate>(&mut self, server: &mut S, id: AppId) -> Placement {
+        // PARTIES equal-partitions the machine, so it can host at most as
+        // many services as the scarcer resource has units. Past that the
+        // partition would hand out empty allocations; reject instead so the
+        // overload comparison against OSML is an honest one (the cap never
+        // binds in the paper's co-location mixes of ≤ 6 services).
+        let topo = server.topology();
+        let capacity = topo.logical_cores().min(topo.llc_ways());
+        if server.apps().len() > capacity {
+            self.fsms.remove(&id);
+            return Placement::Rejected(RejectReason::InsufficientResources);
+        }
         self.fsms.insert(id, AppFsm { next_dim: Dim::Ways, trial: None });
         let pre = server.allocation(id);
         self.equal_partition(server);

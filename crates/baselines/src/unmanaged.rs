@@ -1,4 +1,4 @@
-use osml_platform::{Allocation, AppId, Placement, Scheduler, Substrate};
+use osml_platform::{Allocation, AppId, Placement, RejectReason, Scheduler, Substrate};
 use osml_telemetry::{ActionKind, AllocSnapshot, Provenance, Telemetry, TraceRecord};
 
 /// The paper's **Unmanaged Allocation** baseline: every service's threads
@@ -51,7 +51,7 @@ impl Scheduler for Unmanaged {
             }
             Placement::Placed
         } else {
-            Placement::Rejected
+            Placement::Rejected(RejectReason::InsufficientResources)
         }
     }
 

@@ -112,7 +112,7 @@ pub fn run_chaos_colocation(
         server.advance(1.0);
         match scheduler.on_arrival(&mut server, id) {
             Placement::Placed => ids.push(id),
-            Placement::Rejected => {
+            Placement::Rejected(_) | Placement::Deferred { .. } => {
                 let _ = server.remove(id);
                 scheduler.on_departure(id);
                 all_placed = false;
@@ -295,7 +295,7 @@ pub fn run_crash_recovery(
         server.advance(1.0);
         match scheduler.on_arrival(&mut server, id) {
             Placement::Placed => ids.push(id),
-            Placement::Rejected => {
+            Placement::Rejected(_) | Placement::Deferred { .. } => {
                 let _ = server.remove(id);
                 scheduler.on_departure(id);
                 all_placed = false;

@@ -13,6 +13,7 @@
 
 pub mod chaos;
 pub mod grid;
+pub mod overload;
 pub mod report;
 pub mod scenario;
 pub mod suite;

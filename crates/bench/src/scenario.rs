@@ -78,7 +78,7 @@ pub fn run_colocation_with_noise<Sched: Scheduler>(
         server.advance(1.0);
         match scheduler.on_arrival(&mut server, id) {
             Placement::Placed => ids.push(id),
-            Placement::Rejected => {
+            Placement::Rejected(_) | Placement::Deferred { .. } => {
                 // The upper-level scheduler migrates it elsewhere.
                 let _ = server.remove(id);
                 scheduler.on_departure(id);

@@ -102,7 +102,11 @@ pub fn run_timeline_traced<Sched: Scheduler>(
                     Placement::Placed => {
                         live.insert(idx, id);
                     }
-                    Placement::Rejected => {
+                    Placement::Rejected(_) | Placement::Deferred { .. } => {
+                        // This harness models the binary-rejection world:
+                        // the overload queue gets its own harness
+                        // (`crate::overload`), so a deferral here is
+                        // treated as the migration the upper tier performs.
                         let _ = server.remove(id);
                         scheduler.on_departure(id);
                         migrated.push(event.service);

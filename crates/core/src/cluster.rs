@@ -143,7 +143,9 @@ impl Cluster {
                 self.services.push(Tracked { handle, spec, violating_since: None });
                 Some(handle)
             }
-            Placement::Rejected => {
+            Placement::Rejected(_) | Placement::Deferred { .. } => {
+                // The cluster tier has no arrival queue of its own: a node
+                // that defers is treated as full and the next node is tried.
                 let _ = server.remove(app);
                 self.schedulers[node].on_departure(app);
                 None

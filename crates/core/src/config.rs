@@ -1,3 +1,4 @@
+use osml_platform::SloClass;
 use serde::{Deserialize, Serialize};
 
 /// Tunables of the OSML controller. Defaults follow the paper.
@@ -62,6 +63,91 @@ pub struct OsmlConfig {
     /// Model-C exploration, so a fault-free run never engages fallback and
     /// stays bit-identical to the pre-resilience controller.
     pub fault_attention_s: f64,
+    /// Overload management: admission queue + brownout. Disabled by default
+    /// (`queue_depth == 0`), in which case every decision and event is
+    /// bit-identical to the pre-overload controller. (Snapshots serialized
+    /// before this field existed are already rejected by the snapshot
+    /// version bump, so no serde default is needed.)
+    pub overload: OverloadConfig,
+    /// Forces strict overlap hygiene even with overload management off:
+    /// whenever a placement path re-derives a core set from a service's
+    /// current holding, cores another service also holds are subtracted
+    /// first, so a transient bootstrap overlap is never laundered into a
+    /// dedicated allocation. Always on while `overload` is enabled (the
+    /// admission/shed churn leaves the overlap window wide open); off by
+    /// default because the committed figure corpus was generated through
+    /// the legacy paths and stays bit-identical that way.
+    pub strict_layout: bool,
+}
+
+/// Overload-management tunables: the admission queue and brownout mode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverloadConfig {
+    /// Maximum arrivals waiting in the admission queue. `0` disables
+    /// overload management entirely: rejections stay terminal and the
+    /// controller never defers, shaves or sheds.
+    pub queue_depth: usize,
+    /// Ticks a deferred arrival may wait before it is dropped with a
+    /// [`osml_platform::RejectReason::WaitTimeout`].
+    pub max_wait_ticks: u64,
+    /// Whether sustained overload may enter brownout (shaving slack from
+    /// running services and shedding best-effort work). Without it the
+    /// queue still defers and retries, but capacity must appear on its own.
+    pub brownout: bool,
+    /// Ticks a non-best-effort arrival must have waited before the
+    /// controller declares brownout.
+    pub brownout_after_ticks: u64,
+    /// Consecutive ticks with an empty queue before brownout starts
+    /// restoring shaved services and exits.
+    pub brownout_exit_hold_ticks: u32,
+    /// Maximum Model-B′-priced shave steps applied per tick while in
+    /// brownout (each step takes one core or one way from the cheapest
+    /// victim).
+    pub shave_step_budget: usize,
+    /// Cumulative priced slowdown ceiling for latency-critical services.
+    pub lc_slowdown_ceiling: f64,
+    /// Cumulative priced slowdown ceiling for degradable services.
+    pub degradable_slowdown_ceiling: f64,
+    /// Cumulative priced slowdown ceiling for best-effort services.
+    pub best_effort_slowdown_ceiling: f64,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            queue_depth: 0,
+            max_wait_ticks: 45,
+            brownout: false,
+            brownout_after_ticks: 6,
+            brownout_exit_hold_ticks: 4,
+            shave_step_budget: 2,
+            lc_slowdown_ceiling: 0.05,
+            degradable_slowdown_ceiling: 0.25,
+            best_effort_slowdown_ceiling: 0.40,
+        }
+    }
+}
+
+impl OverloadConfig {
+    /// The preset used by the Fig. 20 overload experiments: queueing and
+    /// brownout both active.
+    pub fn enabled() -> Self {
+        OverloadConfig { queue_depth: 8, brownout: true, ..OverloadConfig::default() }
+    }
+
+    /// Whether overload management is active at all.
+    pub fn is_enabled(&self) -> bool {
+        self.queue_depth > 0
+    }
+
+    /// The cumulative priced-slowdown ceiling for a class during brownout.
+    pub fn ceiling(&self, class: SloClass) -> f64 {
+        match class {
+            SloClass::LatencyCritical => self.lc_slowdown_ceiling,
+            SloClass::Degradable => self.degradable_slowdown_ceiling,
+            SloClass::BestEffort => self.best_effort_slowdown_ceiling,
+        }
+    }
 }
 
 impl Default for OsmlConfig {
@@ -82,6 +168,8 @@ impl Default for OsmlConfig {
             fallback_threshold: 3,
             fallback_recovery_ticks: 8,
             fault_attention_s: 30.0,
+            overload: OverloadConfig::default(),
+            strict_layout: false,
         }
     }
 }
@@ -124,5 +212,20 @@ mod tests {
         let c = OsmlConfig { sampling_window_s: 1.0, ..OsmlConfig::default() };
         let back: OsmlConfig = serde_json::from_str(&serde_json::to_string(&c).unwrap()).unwrap();
         assert_eq!(back, c);
+    }
+
+    #[test]
+    fn overload_is_disabled_by_default_and_enabled_preset_is_coherent() {
+        let d = OverloadConfig::default();
+        assert!(!d.is_enabled());
+        assert!(!d.brownout);
+        let e = OverloadConfig::enabled();
+        assert!(e.is_enabled() && e.brownout);
+        assert!(
+            e.ceiling(SloClass::LatencyCritical) < e.ceiling(SloClass::Degradable)
+                && e.ceiling(SloClass::Degradable) < e.ceiling(SloClass::BestEffort),
+            "more protected classes must tolerate less priced slowdown"
+        );
+        assert!(e.max_wait_ticks > e.brownout_after_ticks);
     }
 }

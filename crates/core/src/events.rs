@@ -1,4 +1,4 @@
-use osml_platform::AppId;
+use osml_platform::{AppId, RejectReason};
 use serde::{Deserialize, Serialize};
 
 /// One scheduling decision or observation, for experiment post-processing
@@ -93,6 +93,51 @@ pub enum EventKind {
     Recovered {
         /// Consecutive healthy ticks observed before re-engaging the models.
         healthy_ticks: u32,
+    },
+    /// An arrival (or queued waiter) was rejected with a typed reason.
+    Rejected {
+        /// Why the service could not be hosted.
+        reason: RejectReason,
+    },
+    /// An arrival was deferred into the admission queue instead of being
+    /// rejected outright.
+    QueueDeferred {
+        /// Queue depth after the deferral.
+        depth: usize,
+    },
+    /// A queued arrival was admitted on a retry.
+    QueueAdmitted {
+        /// Ticks spent waiting in the queue.
+        waited_ticks: u64,
+    },
+    /// A queued arrival waited past the max-wait horizon and was dropped.
+    QueueTimedOut {
+        /// Ticks spent waiting before expiry.
+        waited_ticks: u64,
+    },
+    /// Sustained overload: the controller entered its declared degraded
+    /// state and will shave slack (and shed best-effort work) to admit
+    /// queued latency-critical arrivals.
+    BrownoutEntered {
+        /// Arrivals waiting in the queue at entry.
+        queued: usize,
+    },
+    /// Load subsided: every shaved service was restored and the controller
+    /// left the degraded state.
+    BrownoutExited {
+        /// Ticks spent in brownout.
+        ticks_degraded: u64,
+    },
+    /// A best-effort service was shed (LIFO) because Model-B′ pricing could
+    /// not cover the overload deficit.
+    Shed,
+    /// A shaved service got its pre-brownout allocation back (or a shed
+    /// service was re-admitted).
+    Restored {
+        /// Cores after restoration.
+        cores: usize,
+        /// Ways after restoration.
+        ways: usize,
     },
     /// The controller restarted after a crash and reconciled its durable
     /// state against the live substrate.

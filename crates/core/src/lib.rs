@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod bootstrap;
 mod cluster;
 mod config;
@@ -39,9 +40,10 @@ mod osml;
 pub mod recovery;
 mod resilience;
 
+pub use admission::OverloadState;
 pub use bootstrap::bootstrap_allocation;
 pub use cluster::{Cluster, ClusterPlacement, ServiceHandle};
-pub use config::OsmlConfig;
+pub use config::{OsmlConfig, OverloadConfig};
 pub use events::{EventKind, EventLog, LogEntry};
 pub use layout::{free_way_run_after_repack, repack_ways};
 pub use osml::{Models, OsmlScheduler};

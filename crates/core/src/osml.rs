@@ -1,3 +1,5 @@
+use crate::admission::{OverloadState, QueuedEntry, ShaveRecord, ShedEntry};
+use crate::config::OverloadConfig;
 use crate::layout::{free_way_run_after_repack, repack_ways_with_last};
 use crate::recovery::{
     AppSnapshot, RecoveryMode, RecoveryReport, RecoveryStore, SchedulerSnapshot,
@@ -6,8 +8,8 @@ use crate::resilience::Retrying;
 use crate::{EventKind, EventLog, OsmlConfig};
 use osml_models::{Action, ModelA, ModelB, ModelBPrime, ModelC, OaaPrediction};
 use osml_platform::{
-    Allocation, AppId, CoreSet, CounterSample, MbaThrottle, Placement, Scheduler, Substrate,
-    WayMask,
+    Allocation, AppId, CoreSet, CounterSample, MbaThrottle, Placement, RejectReason, Scheduler,
+    SloClass, Substrate, WayMask,
 };
 use osml_telemetry::{ActionKind, AllocSnapshot, Provenance, Telemetry, TraceOp, TraceRecord};
 use osml_workloads::oaa::AllocPoint;
@@ -82,6 +84,9 @@ struct AppRecord {
     fallback: bool,
     /// Consecutive healthy ticks accumulated toward leaving fallback.
     fallback_ok_ticks: u32,
+    /// SLO class the service was admitted with (drives overload policy:
+    /// queue priority, brownout shave ceiling, shed eligibility).
+    class: SloClass,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -128,6 +133,9 @@ pub struct OsmlScheduler {
     ticks: u64,
     /// Observability pipeline; disabled (free) unless explicitly attached.
     telemetry: Telemetry,
+    /// Overload management: admission queue, shed stack, brownout ledger.
+    /// Inert (and cost-free) while `config.overload` is disabled.
+    overload: OverloadState,
 }
 
 impl OsmlScheduler {
@@ -144,6 +152,7 @@ impl OsmlScheduler {
             txn_depth: 0,
             ticks: 0,
             telemetry: Telemetry::disabled(),
+            overload: OverloadState::default(),
         }
     }
 
@@ -390,10 +399,38 @@ impl OsmlScheduler {
         self.models.model_b_prime.predict(sample, dcores, dways)
     }
 
-    /// Picks `n` cores for `id` from the idle pool plus its own cores.
+    /// Whether placement paths enforce strict overlap hygiene: whenever a
+    /// core set is re-derived from a service's current holding, cores that
+    /// another service also holds are subtracted first.
+    ///
+    /// On a packed machine `bootstrap_allocation` can transiently overlap
+    /// neighbours until the first real placement; with overload management
+    /// off that window is one profiling interval and the committed figure
+    /// corpus was generated through it, so the legacy paths are kept
+    /// bit-for-bit unless [`OsmlConfig::strict_layout`] opts in. Under
+    /// overload management the window is wide open — admission churn,
+    /// shed/restore and stale Algorithm-3 rollbacks can launder an overlap
+    /// into a dedicated allocation and double-assign a core — so every
+    /// re-derivation goes through the strict path (the overload harness
+    /// checks the layout invariant every tick).
+    fn strict_overlap(&self) -> bool {
+        self.config.strict_layout || self.config.overload.is_enabled()
+    }
+
+    /// Picks `n` cores for `id` from the idle pool plus its own cores
+    /// (minus overlapped cores when [`Self::strict_overlap`] demands it).
     fn pick_cores<S: Substrate>(&self, server: &S, id: AppId, n: usize) -> Option<CoreSet> {
         let topo = server.topology();
-        let own = server.allocation(id).map(|a| a.cores).unwrap_or_default();
+        let mut own = server.allocation(id).map(|a| a.cores).unwrap_or_default();
+        if self.strict_overlap() {
+            for other in server.apps() {
+                if other != id {
+                    if let Some(a) = server.allocation(other) {
+                        own = own.difference(a.cores);
+                    }
+                }
+            }
+        }
         let pool = server.idle_cores().union(own);
         pool.pick_spread(topo, n)
     }
@@ -467,6 +504,494 @@ impl OsmlScheduler {
     }
 
     // ------------------------------------------------------------------
+    // Overload management: typed admission, arrival queue, brownout
+    // ------------------------------------------------------------------
+
+    /// Arrivals currently waiting in the admission queue.
+    pub fn queue_depth(&self) -> usize {
+        self.overload.queue.len()
+    }
+
+    /// Whether the controller is in its declared degraded state.
+    pub fn in_brownout(&self) -> bool {
+        self.overload.brownout_since.is_some()
+    }
+
+    /// Whether `ticket` still holds a seat (queued or shed). A ticket that
+    /// stops waiting without being admitted timed out or was cancelled.
+    pub fn is_waiting(&self, ticket: u64) -> bool {
+        self.overload.is_waiting(ticket)
+    }
+
+    /// Read-only view of the overload state (for harness assertions).
+    pub fn overload_state(&self) -> &OverloadState {
+        &self.overload
+    }
+
+    /// Services the controller shed during brownout that the harness has
+    /// not yet withdrawn from the substrate. The harness must remove each
+    /// from the substrate (their records are already gone — do **not** call
+    /// `on_departure`) and treat the id as a waiting ticket.
+    pub fn take_shed(&mut self) -> Vec<AppId> {
+        self.overload.pending_shed.drain(..).map(AppId).collect()
+    }
+
+    /// Hands the harness one ticket to retry, consuming a banked retry
+    /// credit: the most protected, oldest queued arrival first; with the
+    /// queue empty (and brownout over), the most recently shed service.
+    /// The harness relaunches the service and calls
+    /// [`Scheduler::on_arrival_classed`]; until then the ticket is
+    /// in-flight and cannot expire.
+    pub fn poll_admission(&mut self) -> Option<u64> {
+        if self.overload.in_flight.is_some() || self.overload.retry_credits == 0 {
+            return None;
+        }
+        let ticket = if let Some(i) = self.overload.head_index() {
+            Some(self.overload.queue[i].ticket)
+        } else if self.overload.brownout_since.is_none() || self.overload.exit_streak > 0 {
+            // Queue pressure is gone (or brownout is already winding down):
+            // shed work returns LIFO — before the shave ledger is restored,
+            // matching the reverse of the degradation order.
+            self.overload.shed.last().map(|e| e.ticket)
+        } else {
+            None
+        }?;
+        self.overload.retry_credits -= 1;
+        self.overload.in_flight = Some(ticket);
+        Some(ticket)
+    }
+
+    /// Withdraws a waiting ticket (the scripted departure time of a
+    /// still-queued arrival passed, or the harness gave up on it). Returns
+    /// whether anything was removed.
+    pub fn cancel_ticket(&mut self, ticket: u64) -> bool {
+        if self.overload.in_flight == Some(ticket) {
+            self.overload.in_flight = None;
+        }
+        let before = self.overload.queue.len() + self.overload.shed.len();
+        self.overload.queue.retain(|e| e.ticket != ticket);
+        self.overload.shed.retain(|e| e.ticket != ticket);
+        before != self.overload.queue.len() + self.overload.shed.len()
+    }
+
+    /// Makes a rejection visible: typed event + trace record + counter.
+    /// Never an action — `action_count()` only moves when an allocation
+    /// changes.
+    fn note_rejection(&mut self, now: f64, app: Option<AppId>, reason: RejectReason) {
+        self.log.push(now, app, EventKind::Rejected { reason });
+        self.emit_trace(
+            now,
+            app,
+            TraceOp::new(ActionKind::Reject, Provenance::Controller),
+            None,
+            None,
+            false,
+            Some(format!("{reason:?}")),
+        );
+        self.telemetry.counter_add("overload.rejections", 1);
+    }
+
+    /// A retried (previously queued or shed) arrival landed: release its
+    /// seat and log the admission.
+    fn settle_admitted(&mut self, now: f64, ticket: u64, id: AppId, alloc: Option<Allocation>) {
+        if let Some(pos) = self.overload.queue.iter().position(|e| e.ticket == ticket) {
+            let entry = self.overload.queue.remove(pos);
+            let waited = self.ticks.saturating_sub(entry.enqueued_tick);
+            self.log.push(now, Some(id), EventKind::QueueAdmitted { waited_ticks: waited });
+            self.emit_trace(
+                now,
+                Some(id),
+                TraceOp::new(ActionKind::QueueAdmit, Provenance::Controller),
+                None,
+                alloc,
+                false,
+                Some(format!("ticket={ticket} waited_ticks={waited}")),
+            );
+            self.telemetry.counter_add("overload.queue_admitted", 1);
+        } else if let Some(pos) = self.overload.shed.iter().rposition(|e| e.ticket == ticket) {
+            self.overload.shed.remove(pos);
+            let (cores, ways) = alloc.map(|a| (a.cores.count(), a.ways.count())).unwrap_or((0, 0));
+            self.log.push(now, Some(id), EventKind::Restored { cores, ways });
+            self.emit_trace(
+                now,
+                Some(id),
+                TraceOp::new(ActionKind::QueueAdmit, Provenance::Controller),
+                None,
+                alloc,
+                false,
+                Some(format!("ticket={ticket} shed_readmitted")),
+            );
+            self.telemetry.counter_add("overload.shed_readmitted", 1);
+        }
+    }
+
+    /// Routes Algorithm 1's rejection through the admission controller:
+    /// queue the arrival (bounded, priority-ordered) or reject it with a
+    /// typed reason. A failed retry keeps its seat and its original wait
+    /// clock.
+    fn admission_decide(
+        &mut self,
+        now: f64,
+        id: AppId,
+        class: SloClass,
+        reason: RejectReason,
+        retry_of: Option<u64>,
+    ) -> Placement {
+        self.note_rejection(now, Some(id), reason);
+        if let Some(ticket) = retry_of {
+            if self.overload.is_waiting(ticket) {
+                // The relaunched process is about to be withdrawn again;
+                // its departure frees no new capacity.
+                self.overload.suppress_credit_for = Some(id.0);
+                return Placement::Deferred { ticket };
+            }
+        }
+        let cfg = self.config.overload.clone();
+        if !cfg.is_enabled() || reason == RejectReason::ProfilingFailed {
+            return Placement::Rejected(reason);
+        }
+        if self.overload.queue.len() >= cfg.queue_depth {
+            match self.overload.eviction_index() {
+                Some(i) if self.overload.queue[i].class.rank() > class.rank() => {
+                    let evicted = self.overload.queue.remove(i);
+                    self.note_rejection(now, Some(AppId(evicted.ticket)), RejectReason::QueueFull);
+                }
+                _ => {
+                    self.note_rejection(now, Some(id), RejectReason::QueueFull);
+                    return Placement::Rejected(RejectReason::QueueFull);
+                }
+            }
+        }
+        let seq = self.overload.next_seq;
+        self.overload.next_seq += 1;
+        // The arrival was profiled before Algorithm 1 gave up, so its
+        // RCliff (the smallest holding the controller would accept) is
+        // known; brownout uses it to decide whether shedding can help.
+        let (need_cores, need_ways) = self
+            .records
+            .get(&id)
+            .map(|r| (r.prediction.rcliff.cores, r.prediction.rcliff.ways))
+            .unwrap_or((0, 0));
+        self.overload.queue.push(QueuedEntry {
+            ticket: id.0,
+            class,
+            enqueued_tick: self.ticks,
+            seq,
+            need_cores,
+            need_ways,
+        });
+        self.overload.suppress_credit_for = Some(id.0);
+        self.log.push(now, Some(id), EventKind::QueueDeferred { depth: self.overload.queue.len() });
+        self.emit_trace(
+            now,
+            Some(id),
+            TraceOp::new(ActionKind::Defer, Provenance::Controller),
+            None,
+            None,
+            false,
+            Some(format!("reason={reason:?} class={class:?}")),
+        );
+        self.telemetry.counter_add("overload.deferred", 1);
+        Placement::Deferred { ticket: id.0 }
+    }
+
+    /// Per-tick overload work: expire stale waiters, watch for reclaim
+    /// slack, and drive the brownout state machine. Returns immediately
+    /// (zero cost, zero behavior change) while overload is disabled.
+    fn overload_control<S: Substrate>(&mut self, server: &mut Retrying<'_, S>) {
+        let cfg = self.config.overload.clone();
+        if !cfg.is_enabled() {
+            return;
+        }
+        let now = server.now();
+        // Expire waiters past the max-wait horizon (the in-flight ticket is
+        // mid-retry and judged by its arrival instead).
+        let in_flight = self.overload.in_flight;
+        let ticks = self.ticks;
+        let (expired, kept): (Vec<QueuedEntry>, Vec<QueuedEntry>) =
+            self.overload.queue.drain(..).partition(|e| {
+                Some(e.ticket) != in_flight
+                    && ticks.saturating_sub(e.enqueued_tick) >= cfg.max_wait_ticks
+            });
+        self.overload.queue = kept;
+        for e in expired {
+            let waited = ticks.saturating_sub(e.enqueued_tick);
+            let app = Some(AppId(e.ticket));
+            self.log.push(now, app, EventKind::QueueTimedOut { waited_ticks: waited });
+            self.note_rejection(now, app, RejectReason::WaitTimeout);
+            self.telemetry.counter_add("overload.timeouts", 1);
+        }
+        // Reclaim-slack retry signal: idle capacity grew since last tick
+        // (Algorithm 3 reclaimed, a shave landed, a neighbour shrank).
+        let idle = (server.idle_cores().count(), server.idle_way_count());
+        if let Some(last) = self.overload.last_idle {
+            if (idle.0 > last.0 || idle.1 > last.1) && self.overload.is_active() {
+                self.overload.bank_credit();
+            }
+        }
+        self.overload.last_idle = Some(idle);
+        if cfg.brownout {
+            self.brownout_control(server, &cfg);
+        }
+        if self.telemetry.is_enabled() {
+            self.telemetry.gauge_set("overload.queue_depth", self.overload.queue.len() as f64);
+            self.telemetry.gauge_set("overload.shed_depth", self.overload.shed.len() as f64);
+            let degraded = if self.overload.brownout_since.is_some() { 1.0 } else { 0.0 };
+            self.telemetry.gauge_set("overload.brownout", degraded);
+        }
+    }
+
+    /// The brownout state machine: enter on sustained non-best-effort
+    /// queue pressure, shave cheapest-priced slack (then shed best-effort
+    /// LIFO) while pressure lasts, restore in reverse order and exit after
+    /// a quiet hold.
+    fn brownout_control<S: Substrate>(
+        &mut self,
+        server: &mut Retrying<'_, S>,
+        cfg: &OverloadConfig,
+    ) {
+        let now = server.now();
+        let pressing = self
+            .overload
+            .queue
+            .iter()
+            .filter(|e| e.class != SloClass::BestEffort)
+            .map(|e| self.ticks.saturating_sub(e.enqueued_tick))
+            .max();
+        let sustained = pressing.is_some_and(|w| w >= cfg.brownout_after_ticks);
+        if sustained {
+            if self.overload.brownout_since.is_none() {
+                self.overload.brownout_since = Some(self.ticks);
+                let queued = self.overload.queue.len();
+                self.log.push(now, None, EventKind::BrownoutEntered { queued });
+                self.emit_trace(
+                    now,
+                    None,
+                    TraceOp::new(ActionKind::BrownoutEnter, Provenance::Controller),
+                    None,
+                    None,
+                    false,
+                    Some(format!("queued={queued}")),
+                );
+                self.telemetry.counter_add("overload.brownout_entries", 1);
+            }
+            self.overload.exit_streak = 0;
+            let mut progressed = false;
+            for _ in 0..cfg.shave_step_budget {
+                if self.shave_step(server, cfg) {
+                    progressed = true;
+                } else {
+                    break;
+                }
+            }
+            if !progressed {
+                // Pricing cannot cover the deficit: shed best-effort work.
+                progressed = self.shed_step(server);
+            }
+            if progressed {
+                self.overload.bank_credit();
+            }
+        } else if self.overload.brownout_since.is_some() {
+            if self.overload.queue.is_empty() {
+                self.overload.exit_streak += 1;
+            } else {
+                self.overload.exit_streak = 0;
+            }
+            // While winding down with shed work still parked, keep one
+            // retry funded per tick so re-admission does not have to wait
+            // for the next departure.
+            if self.overload.exit_streak > 0 && !self.overload.shed.is_empty() {
+                self.overload.bank_credit();
+            }
+            if self.overload.exit_streak >= cfg.brownout_exit_hold_ticks {
+                self.restore_step(server);
+                if self.overload.shaved.is_empty() {
+                    let entered = self.overload.brownout_since.take().expect("in brownout");
+                    self.overload.exit_streak = 0;
+                    // Load has subsided: fund the re-admission of shed work
+                    // without waiting for the next departure.
+                    self.overload.bank_credit();
+                    let degraded = self.ticks.saturating_sub(entered);
+                    self.log.push(
+                        now,
+                        None,
+                        EventKind::BrownoutExited { ticks_degraded: degraded },
+                    );
+                    self.emit_trace(
+                        now,
+                        None,
+                        TraceOp::new(ActionKind::BrownoutExit, Provenance::Controller),
+                        None,
+                        None,
+                        false,
+                        Some(format!("ticks_degraded={degraded}")),
+                    );
+                }
+            }
+        }
+    }
+
+    /// One brownout shave: take one core *or* one way from the service
+    /// where Model-B′ prices the unit cheapest, respecting each class's
+    /// cumulative slowdown ceiling. Only services with real QoS slack are
+    /// candidates — brownout trades headroom, it does not manufacture new
+    /// violations. Returns whether a shave landed.
+    fn shave_step<S: Substrate>(
+        &mut self,
+        server: &mut Retrying<'_, S>,
+        cfg: &OverloadConfig,
+    ) -> bool {
+        let mut candidates: Vec<(AppId, Allocation, f64)> = Vec::new();
+        for id in server.apps() {
+            let Some(rec) = self.records.get(&id) else { continue };
+            let ceiling = cfg.ceiling(rec.class);
+            let already: f64 =
+                self.overload.shaved.iter().filter(|s| s.app == id.0).map(|s| s.priced).sum();
+            if already >= ceiling {
+                continue;
+            }
+            if server.latency(id).map(|l| l.qos_slack() < 0.1).unwrap_or(true) {
+                continue;
+            }
+            let Some(alloc) = server.allocation(id) else { continue };
+            if alloc.cores.count() <= 1 && alloc.ways.count() <= 1 {
+                continue;
+            }
+            candidates.push((id, alloc, ceiling - already));
+        }
+        let mut best: Option<(f64, u64, Allocation, usize, usize)> = None;
+        for (id, alloc, headroom) in candidates {
+            let Some(sample) = self.fresh_sample(server, id) else { continue };
+            for (dc, dw) in [(1usize, 0usize), (0, 1)] {
+                if (dc == 1 && alloc.cores.count() <= 1) || (dw == 1 && alloc.ways.count() <= 1) {
+                    continue;
+                }
+                let price = self.price_slowdown(&sample, dc, dw);
+                if price > headroom {
+                    continue;
+                }
+                if best.as_ref().is_none_or(|b| (price, id.0) < (b.0, b.1)) {
+                    best = Some((price, id.0, alloc, dc, dw));
+                }
+            }
+        }
+        let Some((price, raw_id, old, dc, dw)) = best else { return false };
+        let victim = AppId(raw_id);
+        let keep = old.cores.count() - dc;
+        let Some(kept_cores) = old.cores.pick_spread(server.topology(), keep) else {
+            return false;
+        };
+        let mut alloc = old;
+        alloc.cores = kept_cores;
+        alloc.ways = old.ways.resized(-(dw as i32), server.topology().llc_ways());
+        let op = TraceOp::new(ActionKind::Deprive, Provenance::ModelBPrime);
+        if !self.apply(server, victim, alloc, op) {
+            return false;
+        }
+        self.log.push(server.now(), Some(victim), EventKind::Deprived { cores: dc, ways: dw });
+        match self.overload.shaved.iter_mut().find(|s| s.app == victim.0) {
+            Some(s) => s.priced += price,
+            None => self.overload.shaved.push(ShaveRecord {
+                app: victim.0,
+                original: old,
+                priced: price,
+            }),
+        }
+        self.telemetry.counter_add("overload.shaves", 1);
+        true
+    }
+
+    /// Sheds the most recently admitted best-effort service (LIFO). Its
+    /// record moves to the shed stack for re-admission after brownout; the
+    /// harness withdraws the process via [`Self::take_shed`]. Never touches
+    /// latency-critical or degradable services, and never sheds at all when
+    /// even the whole best-effort tier cannot cover the head waiter's
+    /// recorded demand — an infeasible shed is a pure goodput loss.
+    fn shed_step<S: Substrate>(&mut self, server: &mut Retrying<'_, S>) -> bool {
+        let best_effort: Vec<AppId> = server
+            .apps()
+            .into_iter()
+            .filter(|id| self.records.get(id).is_some_and(|r| r.class == SloClass::BestEffort))
+            .collect();
+        let victim = best_effort.iter().copied().max_by_key(|id| id.0);
+        let Some(victim) = victim else { return false };
+        if let Some(head) = self.overload.head_index().map(|i| self.overload.queue[i]) {
+            let be_cores: usize = best_effort
+                .iter()
+                .filter_map(|&id| server.allocation(id))
+                .map(|a| a.cores.count())
+                .sum();
+            let be_ways: usize = best_effort
+                .iter()
+                .filter_map(|&id| server.allocation(id))
+                .map(|a| a.ways.count())
+                .sum();
+            let cores_reachable = server.idle_cores().count() + be_cores >= head.need_cores;
+            let ways_reachable = server.idle_way_count() + be_ways >= head.need_ways;
+            if !(cores_reachable && ways_reachable) {
+                return false;
+            }
+        }
+        let now = server.now();
+        let pre = server.allocation(victim);
+        self.records.remove(&victim);
+        self.overload.shaved.retain(|s| s.app != victim.0);
+        self.overload.shed.push(ShedEntry {
+            ticket: victim.0,
+            class: SloClass::BestEffort,
+            shed_tick: self.ticks,
+        });
+        self.overload.pending_shed.push(victim.0);
+        self.log.push(now, Some(victim), EventKind::Shed);
+        self.emit_trace(
+            now,
+            Some(victim),
+            TraceOp::new(ActionKind::Shed, Provenance::Controller),
+            pre,
+            None,
+            false,
+            None,
+        );
+        self.telemetry.counter_add("overload.shed", 1);
+        true
+    }
+
+    /// Restores shaved services to their pre-brownout allocations in
+    /// reverse shave order, stopping at the first one the machine cannot
+    /// fit yet (brownout stays open until the ledger drains).
+    fn restore_step<S: Substrate>(&mut self, server: &mut Retrying<'_, S>) {
+        while let Some(shave) = self.overload.shaved.last().copied() {
+            let id = AppId(shave.app);
+            let Some(cur) = server.allocation(id) else {
+                self.overload.shaved.pop();
+                continue;
+            };
+            if !self.records.contains_key(&id) {
+                self.overload.shaved.pop();
+                continue;
+            }
+            let want_cores = shave.original.cores.count().max(cur.cores.count());
+            let want_ways = shave.original.ways.count().max(cur.ways.count());
+            if want_cores == cur.cores.count() && want_ways == cur.ways.count() {
+                self.overload.shaved.pop(); // regrew on its own
+                continue;
+            }
+            let op = TraceOp::new(ActionKind::Restore, Provenance::Controller);
+            if self.try_allocate_dedicated(server, id, want_cores, want_ways, op) {
+                self.log.push(
+                    server.now(),
+                    Some(id),
+                    EventKind::Restored { cores: want_cores, ways: want_ways },
+                );
+                self.telemetry.counter_add("overload.restores", 1);
+                self.overload.shaved.pop();
+            } else {
+                break;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Algorithm 1: placement via Model-A, deprivation via Model-B
     // ------------------------------------------------------------------
 
@@ -488,7 +1013,9 @@ impl OsmlScheduler {
             server.advance(0.5);
             sample = server.sample(id).filter(CounterSample::is_valid);
         }
-        let Some(sample) = sample else { return Placement::Rejected };
+        let Some(sample) = sample else {
+            return Placement::Rejected(RejectReason::ProfilingFailed);
+        };
         let prediction = {
             let _span = self.telemetry.span("model.a.predict_us");
             self.models.model_a.predict(&sample)
@@ -507,6 +1034,7 @@ impl OsmlScheduler {
                 failed_ml_actions: 0,
                 fallback: false,
                 fallback_ok_ticks: 0,
+                class: SloClass::default(),
             },
         );
         self.log.push(
@@ -579,7 +1107,7 @@ impl OsmlScheduler {
             self.repartition_bandwidth(server);
             Placement::Placed
         } else {
-            Placement::Rejected
+            Placement::Rejected(RejectReason::InsufficientResources)
         }
     }
 
@@ -855,7 +1383,7 @@ impl OsmlScheduler {
         }
         let need_cores = target_cores.saturating_sub(idle_cores);
         let need_ways = target_ways.saturating_sub(free_ways);
-        if self.algorithm_4(server, id, need_cores, need_ways) == Placement::Rejected {
+        if matches!(self.algorithm_4(server, id, need_cores, need_ways), Placement::Rejected(_)) {
             let already = self.records.get(&id).map(|r| r.migration_requested).unwrap_or(false);
             if !already {
                 self.log.push(server.now(), Some(id), EventKind::MigrationRequested);
@@ -974,14 +1502,16 @@ impl OsmlScheduler {
         need_ways: usize,
     ) -> Placement {
         if !self.records.contains_key(&id) {
-            return Placement::Rejected;
+            return Placement::Rejected(RejectReason::InsufficientResources);
         }
-        let Some(alloc) = server.allocation(id) else { return Placement::Rejected };
+        let Some(alloc) = server.allocation(id) else {
+            return Placement::Rejected(RejectReason::InsufficientResources);
+        };
         // Line 1's deficit is computed by the caller (from Model-A at
         // placement, from Model-C's request in the dynamic loop). Nothing
         // to share means sharing cannot help.
         if need_cores == 0 && need_ways == 0 {
-            return Placement::Rejected;
+            return Placement::Rejected(RejectReason::InsufficientResources);
         }
         let target = self.records[&id].prediction.oaa;
 
@@ -991,14 +1521,14 @@ impl OsmlScheduler {
         // sharing [of] some of the LLC ways among microservices", §VI-B). A
         // core deficit that idle resources cannot cover means migration.
         if need_cores > 0 {
-            return Placement::Rejected;
+            return Placement::Rejected(RejectReason::InsufficientResources);
         }
         // Sharing is a last-resort nudge, not a rescue for a deeply
         // overloaded service (those need migration), and never a landgrab.
         let deep_overload =
             server.latency(id).map(|l| l.p95_ms > 10.0 * l.qos_target_ms).unwrap_or(false);
         if need_ways > 6 || deep_overload {
-            return Placement::Rejected;
+            return Placement::Rejected(RejectReason::InsufficientResources);
         }
 
         // Lines 2-5: price sharing with each potential neighbour via
@@ -1028,7 +1558,21 @@ impl OsmlScheduler {
             Some((neighbor, slowdown)) if slowdown <= self.config.sharing_slowdown_budget => {
                 let mut shared = alloc;
                 // Cores come only from the service's own holding plus idle.
-                shared.cores = alloc.cores.union(server.idle_cores());
+                // The holding can still be the bootstrap allocation, which
+                // may overlap neighbours — under `strict_overlap` cores
+                // another service holds are excluded (same rule as
+                // `pick_cores`).
+                let mut own = alloc.cores;
+                if self.strict_overlap() {
+                    for other in server.apps() {
+                        if other != id {
+                            if let Some(a) = server.allocation(other) {
+                                own = own.difference(a.cores);
+                            }
+                        }
+                    }
+                }
+                shared.cores = own.union(server.idle_cores());
                 // Share ways: overlap the neighbour's mask by `need_ways`
                 // (grow toward it after placing our mask adjacent).
                 let _ = repack_ways_with_last(server, Some(neighbor));
@@ -1046,7 +1590,7 @@ impl OsmlScheduler {
                 // Re-proposing the current allocation would be a no-op spin,
                 // not a scheduling action.
                 if shared == server.allocation(id).expect("id is placed") {
-                    return Placement::Rejected;
+                    return Placement::Rejected(RejectReason::InsufficientResources);
                 }
                 if self.apply(
                     server,
@@ -1062,7 +1606,7 @@ impl OsmlScheduler {
                     self.repartition_bandwidth(server);
                     return Placement::Placed;
                 }
-                Placement::Rejected
+                Placement::Rejected(RejectReason::InsufficientResources)
             }
             _ => {
                 self.log.push(server.now(), Some(id), EventKind::MigrationRequested);
@@ -1075,7 +1619,7 @@ impl OsmlScheduler {
                     false,
                     None,
                 );
-                Placement::Rejected
+                Placement::Rejected(RejectReason::InsufficientResources)
             }
         }
     }
@@ -1121,6 +1665,40 @@ impl OsmlScheduler {
     /// withdraws actions that did not pay off — reclamations that broke QoS
     /// (Algorithm 3, lines 7-9) and growths that burned resources without
     /// improving a still-violating service.
+    /// A pending action's rollback image can be stale by the time it is
+    /// applied: cores the service gave up may since have been granted to a
+    /// neighbour (a deprivation funding a newcomer, a brownout shave). The
+    /// conflicting cores are repicked from what is actually free; a
+    /// conflict-free rollback passes through bit-identical. Only active
+    /// under [`Self::strict_overlap`] — see there for why.
+    fn sanitized_rollback<S: Substrate>(
+        &self,
+        server: &Retrying<'_, S>,
+        id: AppId,
+        rollback: Allocation,
+    ) -> Allocation {
+        if !self.strict_overlap() {
+            return rollback;
+        }
+        let mut taken = CoreSet::default();
+        for other in server.apps() {
+            if other != id {
+                if let Some(a) = server.allocation(other) {
+                    taken = taken.union(a.cores);
+                }
+            }
+        }
+        if !rollback.cores.overlaps(taken) {
+            return rollback;
+        }
+        let keep = rollback.cores.difference(taken);
+        let pool = keep.union(server.idle_cores());
+        let want = rollback.cores.count().min(pool.count()).max(1);
+        let mut out = rollback;
+        out.cores = pool.pick_spread(server.topology(), want).unwrap_or(keep);
+        out
+    }
+
     fn settle_pending<S: Substrate>(&mut self, server: &mut Retrying<'_, S>, id: AppId) {
         let Some(record) = self.records.get_mut(&id) else { return };
         let Some(pending) = record.pending.take() else { return };
@@ -1135,9 +1713,10 @@ impl OsmlScheduler {
         }
         let violated = server.latency(id).map(|l| guarded_violation(&l)).unwrap_or(false);
         let rollback_op = TraceOp::new(ActionKind::Rollback, Provenance::Controller);
+        let rollback = self.sanitized_rollback(server, id, pending.rollback);
         match pending.kind {
             PendingKind::Reclaim => {
-                if violated && self.apply(server, id, pending.rollback, rollback_op) {
+                if violated && self.apply(server, id, rollback, rollback_op) {
                     self.log.push(server.now(), Some(id), EventKind::RolledBack);
                     // While the platform is misbehaving, a reclaim that
                     // broke QoS counts against the model path: the decision
@@ -1151,8 +1730,8 @@ impl OsmlScheduler {
                         // This holding is proven minimal for the current
                         // load: stop probing until the workload changes.
                         rec.reclaim_floor = Some((
-                            pending.rollback.cores.count(),
-                            pending.rollback.ways.count(),
+                            rollback.cores.count(),
+                            rollback.ways.count(),
                             pending.before.cpu_usage,
                         ));
                     }
@@ -1164,7 +1743,7 @@ impl OsmlScheduler {
                 }
                 let improved = after.response_latency_ms
                     < pending.before.response_latency_ms * GROWTH_IMPROVEMENT_FACTOR;
-                if violated && !improved && self.apply(server, id, pending.rollback, rollback_op) {
+                if violated && !improved && self.apply(server, id, rollback, rollback_op) {
                     self.log.push(server.now(), Some(id), EventKind::RolledBack);
                     // An ineffective growth is ordinary Model-C exploration
                     // on a healthy platform, but a watchdog strike while
@@ -1201,6 +1780,7 @@ impl AppRecord {
             failed_ml_actions: self.failed_ml_actions,
             fallback: self.fallback,
             fallback_ok_ticks: self.fallback_ok_ticks,
+            class: self.class,
         }
     }
 
@@ -1218,6 +1798,7 @@ impl AppRecord {
             failed_ml_actions: snap.failed_ml_actions,
             fallback: snap.fallback,
             fallback_ok_ticks: snap.fallback_ok_ticks,
+            class: snap.class,
         }
     }
 
@@ -1235,6 +1816,7 @@ impl AppRecord {
             failed_ml_actions: 0,
             fallback: false,
             fallback_ok_ticks: 0,
+            class: SloClass::default(),
         }
     }
 }
@@ -1258,6 +1840,7 @@ impl OsmlScheduler {
             config: self.config.clone(),
             log: self.log.clone(),
             apps: self.records.iter().map(|(&id, rec)| rec.to_snapshot(server, id)).collect(),
+            overload: self.overload.clone(),
         }
     }
 
@@ -1319,6 +1902,7 @@ impl OsmlScheduler {
                 s.last_fault_s = snap.last_fault_s;
                 s.persistent_failures = snap.persistent_failures;
                 s.log = snap.log.clone();
+                s.overload = snap.overload.clone();
                 // Journal replay: actions committed after the snapshot was
                 // taken still count toward the overhead accounting, and the
                 // tick counter must not run backwards.
@@ -1366,6 +1950,18 @@ impl OsmlScheduler {
             }
         }
         report.dropped = snap_apps.len();
+
+        // Sanitize overload state against the restart: the in-flight retry
+        // (and any shed withdrawal the harness never executed) died with the
+        // crash, and a "waiting" ticket whose service is in fact live was
+        // adopted above — its seat is stale.
+        scheduler.overload.in_flight = None;
+        scheduler.overload.suppress_credit_for = None;
+        scheduler.overload.pending_shed.clear();
+        scheduler.overload.last_idle = None;
+        scheduler.overload.queue.retain(|e| !live.iter().any(|id| id.0 == e.ticket));
+        scheduler.overload.shed.retain(|e| !live.iter().any(|id| id.0 == e.ticket));
+        scheduler.overload.shaved.retain(|s| live.iter().any(|id| id.0 == s.app));
 
         scheduler.repair_layout(server, &mut report);
         scheduler.log.push(
@@ -1452,15 +2048,39 @@ impl Scheduler for OsmlScheduler {
     }
 
     fn on_arrival<S: Substrate>(&mut self, server: &mut S, id: AppId) -> Placement {
+        self.on_arrival_classed(server, id, SloClass::default())
+    }
+
+    fn on_arrival_classed<S: Substrate>(
+        &mut self,
+        server: &mut S,
+        id: AppId,
+        class: SloClass,
+    ) -> Placement {
         let mut server = Retrying::new(
             server,
             self.config.actuation_retry_budget,
             self.config.retry_backoff_base_ms,
             self.config.max_backoff_ms,
         );
+        let retry_of = self.overload.in_flight.take();
         let placement = self.algorithm_1(&mut server, id);
         self.note_faults(&mut server);
-        placement
+        if let Some(rec) = self.records.get_mut(&id) {
+            rec.class = class;
+        }
+        let now = server.now();
+        match placement {
+            Placement::Placed => {
+                if let Some(ticket) = retry_of {
+                    let alloc = server.allocation(id);
+                    self.settle_admitted(now, ticket, id, alloc);
+                }
+                Placement::Placed
+            }
+            Placement::Rejected(reason) => self.admission_decide(now, id, class, reason, retry_of),
+            deferred @ Placement::Deferred { .. } => deferred, // algorithm_1 never defers
+        }
     }
 
     fn tick<S: Substrate>(&mut self, server: &mut S) {
@@ -1566,6 +2186,7 @@ impl Scheduler for OsmlScheduler {
                 self.algorithm_3(server, id, sample);
             }
         }
+        self.overload_control(server);
         if self.actions != actions_before {
             self.repartition_bandwidth(server);
         }
@@ -1579,6 +2200,20 @@ impl Scheduler for OsmlScheduler {
 
     fn on_departure(&mut self, id: AppId) {
         self.records.remove(&id);
+        if !self.config.overload.is_enabled() {
+            return;
+        }
+        self.overload.shaved.retain(|s| s.app != id.0);
+        if self.overload.suppress_credit_for == Some(id.0) {
+            // A just-deferred arrival (or failed retry) being withdrawn:
+            // its departure frees only its own bootstrap allocation.
+            self.overload.suppress_credit_for = None;
+            return;
+        }
+        if !self.overload.queue.is_empty() || !self.overload.shed.is_empty() {
+            // A real departure is the queue's primary retry signal.
+            self.overload.bank_credit();
+        }
     }
 
     fn action_count(&self) -> usize {
@@ -1777,5 +2412,105 @@ mod tests {
         // Zero need is satisfiable by any single offer.
         let offers = [offer(1, &[(0, 0)])];
         assert!(best_fit_combo(&offers, 0, 0, 3).is_some());
+    }
+
+    /// Packs the machine through the scheduler until one arrival is turned
+    /// away, returning the turned-away id, its placement, and the action
+    /// count read immediately before the turning-away call.
+    fn pack_until_turned_away(
+        sched: &mut OsmlScheduler,
+        server: &mut SimServer,
+    ) -> (AppId, Placement, usize) {
+        for i in 0..40u64 {
+            let alloc = crate::bootstrap::bootstrap_allocation(server, 8);
+            let id = server
+                .launch(LaunchSpec::at_percent_load(Service::Login, 30.0 + i as f64), alloc)
+                .unwrap();
+            server.advance(1.0);
+            let actions_before = sched.action_count();
+            match sched.on_arrival(server, id) {
+                Placement::Placed => {}
+                other => {
+                    let _ = server.remove(id);
+                    sched.on_departure(id);
+                    return (id, other, actions_before);
+                }
+            }
+        }
+        panic!("the machine never filled up");
+    }
+
+    #[test]
+    fn rejections_are_logged_traced_and_never_count_as_actions() {
+        let mut sched = raw().with_telemetry(osml_telemetry::Telemetry::enabled());
+        let mut server =
+            SimServer::new(SimConfig { noise_sigma: 0.0, seed: 7, ..SimConfig::default() });
+        // Overload disabled (the default): the turn-away must be a terminal
+        // typed rejection, visible in the event log and the decision trace,
+        // and must not move the action counter.
+        let (rejected_id, placement, actions_before) =
+            pack_until_turned_away(&mut sched, &mut server);
+        assert!(matches!(placement, Placement::Rejected(_)), "expected a terminal rejection");
+        assert_eq!(sched.action_count(), actions_before, "a rejection moved the action counter");
+        let rejected_events = sched
+            .log()
+            .entries()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Rejected { .. }))
+            .count();
+        assert!(rejected_events >= 1, "no Rejected event was logged");
+        let reject_traces: Vec<_> = sched
+            .telemetry()
+            .trace_records()
+            .into_iter()
+            .filter(|r| r.kind == ActionKind::Reject)
+            .collect();
+        assert!(!reject_traces.is_empty(), "no Reject record reached the decision trace");
+        assert!(
+            reject_traces.iter().all(|r| !r.counts_as_action),
+            "a Reject trace record claimed to be an action"
+        );
+        assert!(reject_traces.iter().any(|r| r.app == Some(rejected_id.0)));
+    }
+
+    #[test]
+    fn deferred_arrival_is_queued_and_admitted_after_capacity_frees() {
+        let overload = OverloadConfig::enabled();
+        let mut sched = raw().with_config(OsmlConfig { overload, ..OsmlConfig::default() });
+        let mut server =
+            SimServer::new(SimConfig { noise_sigma: 0.0, seed: 7, ..SimConfig::default() });
+        let (_, placement, _) = pack_until_turned_away(&mut sched, &mut server);
+        let Placement::Deferred { ticket } = placement else {
+            panic!("with the queue enabled the turn-away must defer, got {placement:?}");
+        };
+        assert!(sched.is_waiting(ticket));
+        assert_eq!(sched.queue_depth(), 1);
+        assert!(sched
+            .log()
+            .entries()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::QueueDeferred { .. })));
+
+        // Free capacity: retire the two largest residents. Each departure
+        // banks a retry credit.
+        let residents: Vec<AppId> = server.apps();
+        for id in residents.into_iter().rev().take(2) {
+            let _ = server.remove(id);
+            sched.on_departure(id);
+        }
+        let polled = sched.poll_admission().expect("a departure banked a retry credit");
+        assert_eq!(polled, ticket);
+        let alloc = crate::bootstrap::bootstrap_allocation(&mut server, 8);
+        let id = server.launch(LaunchSpec::at_percent_load(Service::Login, 30.0), alloc).unwrap();
+        server.advance(1.0);
+        let placement = sched.on_arrival_classed(&mut server, id, SloClass::Degradable);
+        assert_eq!(placement, Placement::Placed, "the freed capacity must admit the waiter");
+        assert!(!sched.is_waiting(ticket), "the admitted ticket still holds a seat");
+        assert_eq!(sched.queue_depth(), 0);
+        assert!(sched
+            .log()
+            .entries()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::QueueAdmitted { .. })));
     }
 }

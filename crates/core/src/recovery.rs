@@ -28,9 +28,10 @@
 //! departed apps, repairing drifted layouts) lives in
 //! `OsmlScheduler::recover`; this module is only the durable format.
 
+use crate::admission::OverloadState;
 use crate::{EventLog, OsmlConfig};
 use osml_models::{Action, OaaPrediction};
-use osml_platform::{Allocation, CounterSample};
+use osml_platform::{Allocation, CounterSample, SloClass};
 use osml_telemetry::TraceRecord;
 use serde::{Deserialize, Serialize};
 use std::error::Error;
@@ -40,7 +41,7 @@ use std::path::{Path, PathBuf};
 /// Format version written into every snapshot envelope; bumped on breaking
 /// changes to the snapshot schema. A mismatch is surfaced as
 /// [`RecoveryError::VersionMismatch`] and the controller cold-starts.
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Durable image of one service's controller state — the serializable
 /// mirror of the scheduler's private per-app record, minus the in-flight
@@ -52,6 +53,9 @@ pub const SNAPSHOT_VERSION: u32 = 1;
 pub struct AppSnapshot {
     /// Raw service id.
     pub id: u64,
+    /// The SLO class the service was admitted under (drives brownout shave
+    /// ceilings and shed eligibility after a warm restart).
+    pub class: SloClass,
     /// Model-A's OAA/RCliff prediction for the service.
     pub prediction: OaaPrediction,
     /// The allocation the controller believed the service held at snapshot
@@ -107,6 +111,9 @@ pub struct SchedulerSnapshot {
     pub log: EventLog,
     /// Per-service records, sorted by id.
     pub apps: Vec<AppSnapshot>,
+    /// Overload-management state (admission queue, shed stack, shave
+    /// ledger), so a crash mid-overload warm-restarts mid-overload.
+    pub overload: OverloadState,
 }
 
 /// The on-disk envelope: `{version, checksum, payload}` where `payload` is
@@ -395,6 +402,11 @@ mod tests {
         let k = id as usize;
         AppSnapshot {
             id,
+            class: match id % 3 {
+                0 => SloClass::LatencyCritical,
+                1 => SloClass::Degradable,
+                _ => SloClass::BestEffort,
+            },
             prediction: OaaPrediction::new(
                 AllocPoint::new(1 + k % 16, 1 + k % 11),
                 0.1 * k as f64,
@@ -437,6 +449,22 @@ mod tests {
             config: OsmlConfig { sampling_window_s: 1.0 + ticks as f64, ..OsmlConfig::default() },
             log,
             apps: (0..napps as u64).map(app).collect(),
+            overload: {
+                let mut ov = OverloadState::default();
+                if faulty {
+                    ov.queue.push(crate::admission::QueuedEntry {
+                        ticket: 900 + ticks,
+                        class: SloClass::Degradable,
+                        enqueued_tick: ticks.saturating_sub(2),
+                        seq: 0,
+                        need_cores: 4,
+                        need_ways: 2,
+                    });
+                    ov.next_seq = 1;
+                    ov.brownout_since = Some(ticks.saturating_sub(1));
+                }
+                ov
+            },
         }
     }
 
@@ -528,10 +556,10 @@ mod tests {
     #[test]
     fn foreign_version_is_rejected() {
         let snap = snapshot_from(1, 1, false);
-        let text = encode_snapshot(&snap).replacen("\"version\":1", "\"version\":99", 1);
+        let text = encode_snapshot(&snap).replacen("\"version\":2", "\"version\":99", 1);
         assert!(matches!(
             decode_snapshot(&text),
-            Err(RecoveryError::VersionMismatch { found: 99, expected: 1 })
+            Err(RecoveryError::VersionMismatch { found: 99, expected: 2 })
         ));
     }
 

@@ -1,7 +1,12 @@
 //! Property-based tests (proptest) on the core data structures and the
 //! simulator's physical invariants.
 
-use osml_platform::{Allocation, CoreSet, MbaThrottle, Substrate, Topology, WayMask};
+use osml_bench::chaos::layout_invariants_ok;
+use osml_core::{Models, OsmlConfig, OsmlScheduler, OverloadConfig};
+use osml_models::{ModelA, ModelB, ModelBPrime, ModelC};
+use osml_platform::{
+    Allocation, CoreSet, MbaThrottle, Scheduler, SloClass, Substrate, Topology, WayMask,
+};
 use osml_workloads::oaa::LatencyGrid;
 use osml_workloads::perf::{self, PerfInput};
 use osml_workloads::{LaunchSpec, Service, SimConfig, SimServer, ALL_SERVICES};
@@ -163,5 +168,114 @@ proptest! {
         server.advance(2.0);
         let contended = server.latency(id).unwrap().p95_ms;
         prop_assert!(contended >= solo - 1e-6, "neighbour cannot help: {solo} -> {contended}");
+    }
+}
+
+/// An untrained (structurally valid) scheduler: the overload property is
+/// about bookkeeping, not decision quality, and training would dominate the
+/// proptest budget.
+fn untrained_overloaded() -> OsmlScheduler {
+    OsmlScheduler::new(
+        Models {
+            model_a: ModelA::new(36, 20, 1),
+            model_b: ModelB::new(36, 20, 2),
+            model_b_prime: ModelBPrime::new(3),
+            model_c: ModelC::new(4),
+        },
+        OsmlConfig { overload: OverloadConfig::enabled(), ..OsmlConfig::default() },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary interleavings of arrivals (admitted, deferred or rejected),
+    /// departures and ticks never leak cores or ways: the layout stays free
+    /// of core double-assignment throughout, and once every service is gone
+    /// the whole machine reads idle again.
+    #[test]
+    fn overload_interleavings_never_leak_resources(ops in proptest::collection::vec(0u8..255, 1..32)) {
+        let mut sched = untrained_overloaded();
+        let mut server =
+            SimServer::new(SimConfig { noise_sigma: 0.0, seed: 0xA110C, ..SimConfig::default() });
+        let mut live: Vec<osml_platform::AppId> = Vec::new();
+        let mut waiting: Vec<u64> = Vec::new();
+
+        let launch_and_submit =
+            |sched: &mut OsmlScheduler,
+             server: &mut SimServer,
+             live: &mut Vec<osml_platform::AppId>,
+             waiting: &mut Vec<u64>,
+             op: u8| {
+                let service = ALL_SERVICES[op as usize % ALL_SERVICES.len()];
+                let class = match op % 3 {
+                    0 => SloClass::LatencyCritical,
+                    1 => SloClass::Degradable,
+                    _ => SloClass::BestEffort,
+                };
+                let alloc = osml_core::bootstrap_allocation(server, 8);
+                let spec = LaunchSpec::at_percent_load(service, 20.0 + (op % 40) as f64);
+                let id = server.launch(spec, alloc).expect("bootstrap allocation is valid");
+                match sched.on_arrival_classed(server, id, class) {
+                    osml_platform::Placement::Placed => live.push(id),
+                    osml_platform::Placement::Deferred { ticket } => {
+                        let _ = server.remove(id);
+                        sched.on_departure(id);
+                        waiting.push(ticket);
+                    }
+                    osml_platform::Placement::Rejected(_) => {
+                        let _ = server.remove(id);
+                        sched.on_departure(id);
+                    }
+                }
+            };
+
+        for &op in &ops {
+            match op % 4 {
+                0 | 1 => {
+                    launch_and_submit(&mut sched, &mut server, &mut live, &mut waiting, op);
+                }
+                2 => {
+                    if !live.is_empty() {
+                        let id = live.remove(op as usize % live.len());
+                        let _ = server.remove(id);
+                        sched.on_departure(id);
+                    }
+                }
+                _ => {
+                    server.advance(1.0);
+                    sched.tick(&mut server);
+                    for id in sched.take_shed() {
+                        live.retain(|&l| l != id);
+                        let _ = server.remove(id);
+                        waiting.push(id.0);
+                    }
+                    while let Some(ticket) = sched.poll_admission() {
+                        if !waiting.contains(&ticket) {
+                            sched.cancel_ticket(ticket);
+                            continue;
+                        }
+                        waiting.retain(|&w| w != ticket);
+                        launch_and_submit(&mut sched, &mut server, &mut live, &mut waiting, ticket as u8);
+                    }
+                    waiting.retain(|&w| sched.is_waiting(w));
+                }
+            }
+            prop_assert!(layout_invariants_ok(&server), "layout broke after op {op}");
+        }
+
+        // Drain the world: every live service departs, every waiting ticket
+        // is withdrawn. Nothing may remain allocated.
+        for id in live.drain(..) {
+            let _ = server.remove(id);
+            sched.on_departure(id);
+        }
+        for ticket in waiting.drain(..) {
+            sched.cancel_ticket(ticket);
+        }
+        prop_assert!(server.apps().is_empty());
+        prop_assert_eq!(server.idle_cores().count(), 36, "cores leaked");
+        prop_assert_eq!(server.idle_way_count(), 20, "LLC ways leaked");
+        prop_assert_eq!(sched.queue_depth(), 0);
     }
 }

@@ -65,7 +65,7 @@ pub use faults::{
     FailWindow, FaultPlan, FaultProfile, FaultRecord, FaultySubstrate, InjectedFault,
 };
 pub use mba::MbaThrottle;
-pub use schedule::{Placement, Scheduler};
+pub use schedule::{Placement, RejectReason, Scheduler, SloClass};
 pub use substrate::{AppId, Substrate};
 pub use topology::{ServerSpec, Topology};
 pub use ways::WayMask;

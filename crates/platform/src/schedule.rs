@@ -1,14 +1,67 @@
 use crate::{AppId, Substrate};
+use serde::{Deserialize, Serialize};
+
+/// Why a scheduler could not (or will not yet) place a service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// The profiling window never produced a usable sample.
+    ProfilingFailed,
+    /// Idle resources, Model-B deprivation and Model-B′ sharing all came up
+    /// short — the machine genuinely cannot host the service within QoS.
+    InsufficientResources,
+    /// The admission queue is at its configured depth and the arrival does
+    /// not outrank any waiter.
+    QueueFull,
+    /// The arrival waited in the admission queue past the configured
+    /// max-wait horizon without capacity appearing.
+    WaitTimeout,
+}
+
+/// The SLO class of a service, ordered from most to least protected.
+///
+/// Classes drive overload management: latency-critical work is queued ahead
+/// of everything else and is never shed; degradable work tolerates a larger
+/// priced slowdown during brownout; best-effort work absorbs the deepest
+/// shaves and is shed (LIFO) when pricing cannot cover the deficit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SloClass {
+    /// User-facing, tail-latency bound (the paper's LC services).
+    #[default]
+    LatencyCritical,
+    /// Latency-tolerant but still SLO-bearing (batch-interactive).
+    Degradable,
+    /// Throughput work with no SLO; first to be shaved or shed.
+    BestEffort,
+}
+
+impl SloClass {
+    /// Priority rank: lower is more protected (admitted first, shed last).
+    pub fn rank(self) -> u8 {
+        match self {
+            SloClass::LatencyCritical => 0,
+            SloClass::Degradable => 1,
+            SloClass::BestEffort => 2,
+        }
+    }
+}
 
 /// Result of asking a scheduler to place a newly arrived service.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Placement {
     /// The service was given an allocation on this server.
     Placed,
+    /// The service cannot be placed right now but holds a seat in the
+    /// admission queue; the harness should withdraw it from the substrate
+    /// and relaunch when the scheduler's admission poll hands the ticket
+    /// back (overload management, disabled by default).
+    Deferred {
+        /// Opaque handle identifying the queued arrival.
+        ticket: u64,
+    },
     /// The server cannot host the service within QoS constraints; the
     /// upper-level scheduler should migrate it to another node (Algorithm 4,
     /// line 9 of the paper).
-    Rejected,
+    Rejected(RejectReason),
 }
 
 /// The interface every resource scheduler in this repository implements —
@@ -27,6 +80,19 @@ pub trait Scheduler {
 
     /// Reacts to a newly launched service.
     fn on_arrival<S: Substrate>(&mut self, server: &mut S, id: AppId) -> Placement;
+
+    /// Reacts to a newly launched service carrying an SLO class. The default
+    /// implementation ignores the class, so schedulers without overload
+    /// management behave exactly as before.
+    fn on_arrival_classed<S: Substrate>(
+        &mut self,
+        server: &mut S,
+        id: AppId,
+        class: SloClass,
+    ) -> Placement {
+        let _ = class;
+        self.on_arrival(server, id)
+    }
 
     /// Periodic QoS check / adjustment, called once per simulated second.
     fn tick<S: Substrate>(&mut self, server: &mut S);

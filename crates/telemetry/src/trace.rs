@@ -64,6 +64,18 @@ pub enum ActionKind {
     MigrationRequested,
     /// MBA throttles were repartitioned.
     BandwidthRepartitioned,
+    /// An arrival was rejected outright (no allocation changed).
+    Reject,
+    /// An arrival was deferred into the admission queue.
+    Defer,
+    /// A queued arrival was admitted on retry.
+    QueueAdmit,
+    /// A best-effort service was shed during brownout.
+    Shed,
+    /// The controller entered brownout (declared degraded state).
+    BrownoutEnter,
+    /// The controller exited brownout after restoring shaved services.
+    BrownoutExit,
 }
 
 /// An `(ActionKind, Provenance)` pair the instrumented call sites thread to

@@ -90,6 +90,47 @@ pub struct ArrivalEvent {
     pub load: LoadSchedule,
 }
 
+/// Why a hand-built arrival script is inconsistent (see
+/// [`ArrivalScript::try_new`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScriptError {
+    /// An event departs before it arrives.
+    DepartsBeforeArrival {
+        /// Index of the offending event in the input order.
+        index: usize,
+        /// The event's arrival time, s.
+        arrive_s: f64,
+        /// The event's (earlier) departure time, s.
+        depart_s: f64,
+    },
+    /// An event arrives after the experiment has ended.
+    ArrivesAfterEnd {
+        /// Index of the offending event in the input order.
+        index: usize,
+        /// The event's arrival time, s.
+        arrive_s: f64,
+        /// The experiment duration, s.
+        duration_s: f64,
+    },
+}
+
+impl std::fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScriptError::DepartsBeforeArrival { index, arrive_s, depart_s } => write!(
+                f,
+                "event {index} departs at {depart_s} s, before it arrives at {arrive_s} s"
+            ),
+            ScriptError::ArrivesAfterEnd { index, arrive_s, duration_s } => write!(
+                f,
+                "event {index} arrives at {arrive_s} s, after the experiment ends at {duration_s} s"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
 /// A whole experiment's arrival script.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ArrivalScript {
@@ -101,9 +142,51 @@ pub struct ArrivalScript {
 
 impl ArrivalScript {
     /// Creates a script, sorting events by arrival time.
+    ///
+    /// Inconsistent events are repaired rather than trusted: an event whose
+    /// departure precedes its arrival is clamped to a zero-length lifetime
+    /// (`depart_s = arrive_s`, so it never becomes active), and events
+    /// arriving after `duration_s` are dropped — harnesses index
+    /// `script.events` positionally, and a never-reachable event would
+    /// silently skew per-event accounting. Use [`ArrivalScript::try_new`]
+    /// to reject such scripts instead of repairing them.
     pub fn new(mut events: Vec<ArrivalEvent>, duration_s: f64) -> Self {
+        events.retain(|e| e.arrive_s <= duration_s);
+        for e in &mut events {
+            if e.depart_s < e.arrive_s {
+                e.depart_s = e.arrive_s;
+            }
+        }
         events.sort_by(|a, b| a.arrive_s.total_cmp(&b.arrive_s));
         ArrivalScript { events, duration_s }
+    }
+
+    /// Like [`ArrivalScript::new`], but a script that would need repair is
+    /// an error instead.
+    ///
+    /// # Errors
+    ///
+    /// [`ScriptError::DepartsBeforeArrival`] if any event's `depart_s` is
+    /// earlier than its `arrive_s`; [`ScriptError::ArrivesAfterEnd`] if any
+    /// event arrives after `duration_s`. Indices refer to the input order.
+    pub fn try_new(events: Vec<ArrivalEvent>, duration_s: f64) -> Result<Self, ScriptError> {
+        for (index, e) in events.iter().enumerate() {
+            if e.depart_s < e.arrive_s {
+                return Err(ScriptError::DepartsBeforeArrival {
+                    index,
+                    arrive_s: e.arrive_s,
+                    depart_s: e.depart_s,
+                });
+            }
+            if e.arrive_s > duration_s {
+                return Err(ScriptError::ArrivesAfterEnd {
+                    index,
+                    arrive_s: e.arrive_s,
+                    duration_s,
+                });
+            }
+        }
+        Ok(ArrivalScript::new(events, duration_s))
     }
 
     /// The Fig. 14 dynamic-load scenario: Moses arrives first; Img-dnn and
@@ -188,8 +271,14 @@ impl ArrivalScript {
     }
 
     /// Events active at time `t`.
+    ///
+    /// The constructor keeps `events` sorted by `arrive_s`, so a binary
+    /// search bounds the candidates (everything past the partition point
+    /// has not arrived yet) instead of scanning the whole script — the
+    /// harnesses call this once per simulated second.
     pub fn active_at(&self, t: f64) -> impl Iterator<Item = &ArrivalEvent> {
-        self.events.iter().filter(move |e| e.arrive_s <= t && t < e.depart_s)
+        let arrived = self.events.partition_point(|e| e.arrive_s <= t);
+        self.events[..arrived].iter().filter(move |e| t < e.depart_s)
     }
 }
 
@@ -254,6 +343,68 @@ mod tests {
         let s = ArrivalScript::new(vec![e(5.0), e(1.0), e(3.0)], 10.0);
         let times: Vec<f64> = s.events.iter().map(|e| e.arrive_s).collect();
         assert_eq!(times, vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn inconsistent_events_are_clamped_or_rejected() {
+        let e = |arrive: f64, depart: f64| ArrivalEvent {
+            service: Service::Login,
+            arrive_s: arrive,
+            depart_s: depart,
+            threads: 1,
+            load: LoadSchedule::Constant { rps: 1.0 },
+        };
+        // depart < arrive: clamped to a zero-length lifetime, never active.
+        let s = ArrivalScript::new(vec![e(5.0, 2.0)], 10.0);
+        assert_eq!(s.events[0].depart_s, 5.0);
+        assert_eq!(s.active_at(5.0).count(), 0);
+        assert_eq!(s.active_at(3.0).count(), 0);
+        // arrival beyond the experiment horizon: dropped.
+        let s = ArrivalScript::new(vec![e(0.0, 4.0), e(11.0, 20.0)], 10.0);
+        assert_eq!(s.events.len(), 1);
+        assert_eq!(s.events[0].arrive_s, 0.0);
+        // try_new refuses instead of repairing, with the input index.
+        assert_eq!(
+            ArrivalScript::try_new(vec![e(0.0, 4.0), e(5.0, 2.0)], 10.0),
+            Err(ScriptError::DepartsBeforeArrival { index: 1, arrive_s: 5.0, depart_s: 2.0 })
+        );
+        assert_eq!(
+            ArrivalScript::try_new(vec![e(11.0, 20.0)], 10.0),
+            Err(ScriptError::ArrivesAfterEnd { index: 0, arrive_s: 11.0, duration_s: 10.0 })
+        );
+        assert!(ArrivalScript::try_new(vec![e(0.0, 4.0)], 10.0).is_ok());
+    }
+
+    #[test]
+    fn active_at_matches_a_linear_scan() {
+        // Pin the binary-search fast path to the obviously-correct filter,
+        // including ties at arrival instants and shared arrival times.
+        let e = |arrive: f64, depart: f64| ArrivalEvent {
+            service: Service::Login,
+            arrive_s: arrive,
+            depart_s: depart,
+            threads: 1,
+            load: LoadSchedule::Constant { rps: 1.0 },
+        };
+        let mut events = Vec::new();
+        let mut x: u64 = 0x2545_f491_4f6c_dd1d; // fixed-seed xorshift
+        for _ in 0..40 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let arrive = (x % 100) as f64;
+            let depart =
+                if x.is_multiple_of(7) { f64::INFINITY } else { arrive + ((x >> 8) % 30) as f64 };
+            events.push(e(arrive, depart));
+        }
+        let s = ArrivalScript::new(events.clone(), 100.0);
+        for tenth in 0..=1000 {
+            let t = tenth as f64 / 10.0;
+            let fast: Vec<&ArrivalEvent> = s.active_at(t).collect();
+            let slow: Vec<&ArrivalEvent> =
+                s.events.iter().filter(|e| e.arrive_s <= t && t < e.depart_s).collect();
+            assert_eq!(fast, slow, "active_at diverged from the linear scan at t={t}");
+        }
     }
 
     #[test]
