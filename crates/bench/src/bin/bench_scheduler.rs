@@ -1,0 +1,64 @@
+//! Scheduler-core throughput trajectory: event-driven + batched engine vs
+//! the legacy scan loop at 10/100/1k/10k co-located services, written to
+//! `BENCH_scheduler.json` at the repository root (committed, asserted in
+//! CI).
+//!
+//! `--smoke` runs a reduced matrix (two sizes, few ticks) for CI: fast
+//! enough for every push, still exercising both engines, the equivalence
+//! assertion, and the JSON schema.
+
+use osml_bench::perf::{measure, SizePoint};
+use serde::Serialize;
+use std::path::PathBuf;
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    /// What produced this file.
+    generated_by: &'static str,
+    /// Whether this is the reduced CI matrix.
+    smoke: bool,
+    /// Fixed seed feeding the synthetic counter streams.
+    seed: u64,
+    /// One scan-vs-event comparison per fleet size.
+    sizes: Vec<SizePoint>,
+}
+
+const SEED: u64 = 0x0511_2023;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // Tick counts scale inversely with fleet size so every point costs
+    // comparable wall time; the smoke matrix stays under a few seconds.
+    let matrix: &[(usize, usize)] = if smoke {
+        &[(10, 50), (100, 20)]
+    } else {
+        &[(10, 1000), (100, 400), (1000, 100), (10000, 20)]
+    };
+
+    let mut sizes = Vec::new();
+    println!("scheduler core throughput (scan vs event-driven+batched):");
+    println!(
+        "{:>9} {:>7} {:>16} {:>16} {:>9} {:>14}",
+        "services", "ticks", "scan st/s", "event st/s", "speedup", "event dec/s"
+    );
+    for &(services, ticks) in matrix {
+        let point = measure(services, ticks, SEED);
+        println!(
+            "{:>9} {:>7} {:>16.0} {:>16.0} {:>8.2}x {:>14.0}",
+            point.services,
+            point.ticks,
+            point.scan.service_ticks_per_sec,
+            point.event.service_ticks_per_sec,
+            point.speedup,
+            point.event.decisions_per_sec,
+        );
+        sizes.push(point);
+    }
+
+    let report =
+        BenchReport { generated_by: "osml-bench/bench_scheduler", smoke, seed: SEED, sizes };
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_scheduler.json");
+    let json = serde_json::to_string_pretty(&report).expect("serialize bench report");
+    osml_ml::store::write_atomic(&path, &json).expect("write BENCH_scheduler.json");
+    println!("wrote {}", path.display());
+}

@@ -23,6 +23,9 @@ struct StageTiming {
 #[derive(Debug, Serialize)]
 struct SpeedupReport {
     jobs: usize,
+    /// Physical parallelism actually available when the numbers were taken —
+    /// a speedup near 1.0x on a 1-core box is expected, not a regression.
+    detected_cores: usize,
     stages: Vec<StageTiming>,
 }
 
@@ -49,6 +52,7 @@ fn time_stage<T: PartialEq>(
 
 fn main() {
     let jobs = osml_ml::par::jobs_from_env().max(2);
+    let detected_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let mut stages = Vec::new();
 
     let steps = [20usize, 50, 80];
@@ -103,13 +107,13 @@ fn main() {
             ]
         })
         .collect();
-    println!("parallel speedup at {jobs} jobs (bit-identical outputs):");
+    println!("parallel speedup at {jobs} jobs on {detected_cores} detected core(s) (bit-identical outputs):");
     println!(
         "{}",
         render_table(&["stage", "jobs=1 (s)", &format!("jobs={jobs} (s)"), "speedup"], &rows)
     );
 
-    let report = SpeedupReport { jobs, stages };
+    let report = SpeedupReport { jobs, detected_cores, stages };
     let path = save_json("parallel_speedup", &report);
     println!("wrote {}", path.display());
 }

@@ -14,6 +14,7 @@
 pub mod chaos;
 pub mod grid;
 pub mod overload;
+pub mod perf;
 pub mod report;
 pub mod scenario;
 pub mod suite;

@@ -15,7 +15,9 @@
 //! service and calling [`Scheduler::on_arrival_classed`].
 
 use osml_core::{EventKind, OsmlConfig, OsmlScheduler, OverloadConfig, RecoveryStore};
-use osml_platform::{AppId, FaultPlan, FaultySubstrate, Placement, Scheduler, SloClass, Substrate};
+use osml_platform::{
+    Allocation, AppId, FaultPlan, FaultySubstrate, Placement, Scheduler, SloClass, Substrate,
+};
 use osml_workloads::loadgen::{ArrivalEvent, ArrivalScript, LoadSchedule};
 use osml_workloads::{LaunchSpec, Service, SimConfig, SimServer};
 use serde::{Deserialize, Serialize};
@@ -182,11 +184,36 @@ pub fn run_overload(
     plan: FaultPlan,
     restart_mid_brownout: bool,
 ) -> OverloadOutcome {
+    run_overload_detailed(
+        template,
+        script,
+        seed,
+        overload,
+        plan,
+        restart_mid_brownout,
+        OsmlConfig::default(),
+    )
+    .0
+}
+
+/// [`run_overload`] with a caller-supplied base config (e.g. to flip the
+/// event-driven engine), also returning the controller's full event log and
+/// the final live layout `(raw id, allocation)` sorted by id — the raw
+/// material for engine-equivalence assertions.
+#[allow(clippy::type_complexity)]
+pub fn run_overload_detailed(
+    template: &OsmlScheduler,
+    script: &ArrivalScript,
+    seed: u64,
+    overload: OverloadConfig,
+    plan: FaultPlan,
+    restart_mid_brownout: bool,
+    base: OsmlConfig,
+) -> (OverloadOutcome, osml_core::EventLog, Vec<(u64, Allocation)>) {
     // Both arms get strict overlap hygiene — the layout invariant is
     // asserted every tick, and sharing the fix keeps the comparison about
     // admission policy (queue + brownout vs binary rejection), not hygiene.
-    let config =
-        OsmlConfig { overload: overload.clone(), strict_layout: true, ..OsmlConfig::default() };
+    let config = OsmlConfig { overload: overload.clone(), strict_layout: true, ..base };
     let inner = SimServer::new(SimConfig { noise_sigma: 0.0, seed, ..SimConfig::default() });
     let mut server = FaultySubstrate::new(inner, plan);
     let mut scheduler = template.clone().with_config(config.clone());
@@ -423,7 +450,13 @@ pub fn run_overload(
         })
         .collect();
     let terminal_rejections = arrivals.iter().filter(|a| a.fate == ArrivalFate::Rejected).count();
-    OverloadOutcome {
+    let mut layout: Vec<(u64, Allocation)> = server
+        .apps()
+        .into_iter()
+        .filter_map(|id| server.allocation(id).map(|a| (id.0, a)))
+        .collect();
+    layout.sort_by_key(|&(id, _)| id);
+    let outcome = OverloadOutcome {
         overload_enabled: overload.is_enabled(),
         offered_service_seconds,
         admitted_service_seconds,
@@ -445,7 +478,8 @@ pub fn run_overload(
         restart_resumed_state,
         actions: scheduler.action_count(),
         arrivals,
-    }
+    };
+    (outcome, log.clone(), layout)
 }
 
 #[cfg(test)]

@@ -1,0 +1,127 @@
+//! Arena storage for per-service hot state.
+//!
+//! The scheduler used to keep its [`AppRecord`]s in a `BTreeMap<AppId, _>`,
+//! scattering the per-tick hot state (cooldown deadlines, blocked lists,
+//! predictions) across heap-allocated tree nodes. [`AppTable`] keeps the
+//! records in one contiguous slot arena with a free list, plus a small
+//! id → slot index that preserves the `BTreeMap`'s id-ordered iteration —
+//! which the bandwidth repartitioner's float summation and the snapshot
+//! writer both rely on for determinism. Lookups stay O(log n) through the
+//! index; iteration and the batched-inference gather walk a dense slab.
+//!
+//! [`AppRecord`]: crate::OsmlScheduler
+
+use osml_platform::AppId;
+use std::collections::BTreeMap;
+
+/// A slot arena keyed by [`AppId`] with id-ordered iteration.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct AppTable<T> {
+    slots: Vec<Option<T>>,
+    index: BTreeMap<AppId, usize>,
+    free: Vec<usize>,
+}
+
+impl<T> AppTable<T> {
+    /// Creates an empty table.
+    pub(crate) fn new() -> Self {
+        AppTable { slots: Vec::new(), index: BTreeMap::new(), free: Vec::new() }
+    }
+
+    /// Number of live records.
+    pub(crate) fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether `id` has a record.
+    pub(crate) fn contains_key(&self, id: &AppId) -> bool {
+        self.index.contains_key(id)
+    }
+
+    /// Borrow of `id`'s record.
+    pub(crate) fn get(&self, id: &AppId) -> Option<&T> {
+        self.index.get(id).map(|&s| self.slots[s].as_ref().expect("indexed slot is occupied"))
+    }
+
+    /// Mutable borrow of `id`'s record.
+    pub(crate) fn get_mut(&mut self, id: &AppId) -> Option<&mut T> {
+        let slot = *self.index.get(id)?;
+        Some(self.slots[slot].as_mut().expect("indexed slot is occupied"))
+    }
+
+    /// Inserts (or replaces) `id`'s record, returning the old one if any.
+    pub(crate) fn insert(&mut self, id: AppId, value: T) -> Option<T> {
+        if let Some(&slot) = self.index.get(&id) {
+            return self.slots[slot].replace(value);
+        }
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s] = Some(value);
+                s
+            }
+            None => {
+                self.slots.push(Some(value));
+                self.slots.len() - 1
+            }
+        };
+        self.index.insert(id, slot);
+        None
+    }
+
+    /// Removes `id`'s record, freeing its slot for reuse.
+    pub(crate) fn remove(&mut self, id: &AppId) -> Option<T> {
+        let slot = self.index.remove(id)?;
+        self.free.push(slot);
+        self.slots[slot].take()
+    }
+
+    /// Iterates `(id, record)` in ascending id order — the order the
+    /// `BTreeMap` this replaced iterated in, which float summations and
+    /// snapshots depend on.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (&AppId, &T)> {
+        self.index
+            .iter()
+            .map(|(id, &s)| (id, self.slots[s].as_ref().expect("indexed slot is occupied")))
+    }
+
+    /// Iterates records mutably in slot (arena) order. Only for uses where
+    /// order is irrelevant, such as the legacy timer-GC walk.
+    pub(crate) fn values_mut(&mut self) -> impl Iterator<Item = &mut T> {
+        self.slots.iter_mut().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut t: AppTable<u32> = AppTable::new();
+        assert_eq!(t.insert(AppId(3), 30), None);
+        assert_eq!(t.insert(AppId(1), 10), None);
+        assert_eq!(t.insert(AppId(3), 31), Some(30));
+        assert_eq!(t.get(&AppId(3)), Some(&31));
+        assert!(t.contains_key(&AppId(1)));
+        assert_eq!(t.len(), 2);
+        *t.get_mut(&AppId(1)).unwrap() += 1;
+        assert_eq!(t.remove(&AppId(1)), Some(11));
+        assert_eq!(t.remove(&AppId(1)), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn iteration_is_id_ordered_and_slots_are_reused() {
+        let mut t: AppTable<&str> = AppTable::new();
+        t.insert(AppId(5), "e");
+        t.insert(AppId(2), "b");
+        t.insert(AppId(9), "i");
+        t.remove(&AppId(2));
+        // The freed slot is reused; order must still follow ids.
+        t.insert(AppId(1), "a");
+        let ids: Vec<u64> = t.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![1, 5, 9]);
+        assert_eq!(t.slots.len(), 3, "arena must reuse freed slots");
+        assert_eq!(t.values_mut().count(), 3);
+    }
+}

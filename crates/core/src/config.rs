@@ -78,6 +78,16 @@ pub struct OsmlConfig {
     /// default because the committed figure corpus was generated through
     /// the legacy paths and stays bit-identical that way.
     pub strict_layout: bool,
+    /// Selects the event-driven tick engine: cooldown/blocked/queue-wait
+    /// deadlines become scheduled expiry events on a timer wheel instead of
+    /// per-tick O(services) decrement scans, and Model-A refreshes plus the
+    /// Model-B/B′ pricing loops run as single batched forward passes. The
+    /// equivalence property suite pins both engines to identical event logs
+    /// and layouts; off by default because the batched Model-A gather peeks
+    /// at counters before the per-service loop, which shifts the per-*call*
+    /// fault-injection stream of chaos substrates (and thereby the committed
+    /// figure corpus) even though fault-free runs are bit-identical.
+    pub event_driven: bool,
 }
 
 /// Overload-management tunables: the admission queue and brownout mode.
@@ -170,6 +180,7 @@ impl Default for OsmlConfig {
             fault_attention_s: 30.0,
             overload: OverloadConfig::default(),
             strict_layout: false,
+            event_driven: false,
         }
     }
 }

@@ -31,9 +31,11 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+mod apptable;
 pub mod bootstrap;
 mod cluster;
 mod config;
+mod event_queue;
 mod events;
 mod layout;
 mod osml;

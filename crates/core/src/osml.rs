@@ -1,12 +1,19 @@
 use crate::admission::{OverloadState, QueuedEntry, ShaveRecord, ShedEntry};
+use crate::apptable::AppTable;
 use crate::config::OverloadConfig;
+use crate::event_queue::{TimerEvent, TimerQueue};
 use crate::layout::{free_way_run_after_repack, repack_ways_with_last};
 use crate::recovery::{
     AppSnapshot, RecoveryMode, RecoveryReport, RecoveryStore, SchedulerSnapshot,
 };
 use crate::resilience::Retrying;
 use crate::{EventKind, EventLog, OsmlConfig};
-use osml_models::{Action, ModelA, ModelB, ModelBPrime, ModelC, OaaPrediction};
+use osml_ml::Matrix;
+use osml_models::features::{
+    write_base_features, write_model_b_input, write_model_b_prime_input, BASE_FEATURES,
+    MODEL_B_INPUTS, MODEL_B_PRIME_INPUTS,
+};
+use osml_models::{Action, BPoints, ModelA, ModelB, ModelBPrime, ModelC, OaaPrediction};
 use osml_platform::{
     Allocation, AppId, CoreSet, CounterSample, MbaThrottle, Placement, RejectReason, Scheduler,
     SloClass, Substrate, WayMask,
@@ -14,14 +21,15 @@ use osml_platform::{
 use osml_telemetry::{ActionKind, AllocSnapshot, Provenance, Telemetry, TraceOp, TraceRecord};
 use osml_workloads::oaa::AllocPoint;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Ticks Algorithm 3 waits after a rollback before reclaiming again.
-const RECLAIM_COOLDOWN_TICKS: usize = 10;
+const RECLAIM_COOLDOWN_TICKS: u64 = 10;
 
 /// Ticks a withdrawn (ineffective) growth action stays blocked for an app,
 /// steering Model-C to its next-best action instead of repeating the same
 /// fruitless one.
-const BLOCKED_ACTION_TICKS: usize = 15;
+const BLOCKED_ACTION_TICKS: u64 = 15;
 
 /// A growth action is "effective" if it cut latency to at most this factor
 /// of the previous sample. Resource effects at the cliff are large, while
@@ -59,11 +67,15 @@ struct AppRecord {
     /// An action whose effect is awaiting the next sample (for Model-C's
     /// `<Status, Action, Reward, Status'>` tuple and for rollback).
     pending: Option<Pending>,
-    /// Ticks remaining before Algorithm 3 may try reclaiming again after a
-    /// rollback (prevents reclaim/violate/rollback livelock).
-    reclaim_cooldown: usize,
-    /// Withdrawn growth actions and the ticks they stay blocked.
-    blocked: Vec<(Action, usize)>,
+    /// Absolute tick before which Algorithm 3 must not reclaim again after
+    /// a rollback (prevents reclaim/violate/rollback livelock). `0` means no
+    /// cooldown was ever armed; the cooldown is active while
+    /// `tick < cooldown_until`. The deadline itself is authoritative — the
+    /// timer wheel (event mode) and the GC walk (scan mode) only tidy it up.
+    cooldown_until: u64,
+    /// Withdrawn growth actions, each with the absolute tick its quarantine
+    /// runs until (active while `tick < until`).
+    blocked: Vec<(Action, u64)>,
     /// A proven minimal allocation: a reclaim below this broke QoS, so
     /// Algorithm 3 stays quiet while the holding is at or below it and the
     /// workload looks unchanged. `(cores, ways, cpu_usage at proof time)`.
@@ -117,9 +129,22 @@ struct Pending {
 pub struct OsmlScheduler {
     config: OsmlConfig,
     models: Models,
-    records: BTreeMap<AppId, AppRecord>,
+    records: AppTable<AppRecord>,
     log: EventLog,
     actions: usize,
+    /// Timer wheel of the event-driven core (kept empty in scan mode):
+    /// cooldown expiries, blocked-action expiries and admission-queue
+    /// deadlines pop here instead of being found by per-record scans.
+    timers: TimerQueue,
+    /// Reusable gather/activation buffers for the batched inference paths
+    /// and the per-tick timer drain (allocation-free steady state). Never
+    /// observable: every user clears or overwrites before reading.
+    scratch: BatchScratch,
+    /// Model forward passes run in service of scheduling decisions
+    /// (Model-A/B/B′ predictions, Model-C action selections). Interior
+    /// mutability because the pricing helper takes `&self`. Diagnostic
+    /// only — not serialized.
+    decisions: DecisionCounter,
     /// Simulated time of the most recent observed platform fault, feeding
     /// the watchdog's "platform unhealthy" attention window.
     last_fault_s: Option<f64>,
@@ -138,15 +163,105 @@ pub struct OsmlScheduler {
     overload: OverloadState,
 }
 
+///// Reusable buffers for the event-driven engine: the row-major feature
+/// gather, ping-pong activation scratch, decoded batch outputs, the
+/// per-tick Model-A prediction table, and the queue-deadline buffer.
+#[derive(Debug, Clone)]
+struct BatchScratch {
+    /// Row-major gathered feature rows for one fused forward pass.
+    inputs: Matrix,
+    /// Ping-pong activation scratch shared by every batched call.
+    s1: Matrix,
+    /// Second half of the ping-pong pair.
+    s2: Matrix,
+    /// `ids` positions gathered by the Model-A pre-pass (row `i` of
+    /// `inputs` belongs to the service at position `rows[i]`).
+    rows: Vec<usize>,
+    /// Samples gathered by the Model-A pre-pass, row-aligned with `rows`.
+    samples: Vec<CounterSample>,
+    /// Decoded Model-A predictions, row-aligned with `rows`.
+    preds: Vec<OaaPrediction>,
+    /// Per-position Model-A predictions for the current tick, paired with
+    /// the sample each was computed from. The service loop `take()`s them
+    /// at its refresh site and uses the batched result only when the
+    /// service's live sample still equals the gathered one — actions on
+    /// earlier services this tick (rollbacks, deprivations) mutate the
+    /// layout, and a service whose counters moved must be re-predicted
+    /// scalar to stay bit-identical with the scan loop.
+    pred_by_pos: Vec<Option<(OaaPrediction, CounterSample)>>,
+    /// Decoded Model-B batch outputs.
+    b_points: Vec<BPoints>,
+    /// Decoded Model-B′ batch prices.
+    prices: Vec<f64>,
+    /// Queue-deadline tickets popped at tick start, handled inside
+    /// `overload_control` — the same tick position the scan-based loop
+    /// expires them at (the queue is only mutated between ticks and there,
+    /// so deferring the events is safe).
+    due_queue_deadlines: Vec<u64>,
+}
+
+impl Default for BatchScratch {
+    fn default() -> Self {
+        BatchScratch {
+            inputs: Matrix::zeros(0, 0),
+            s1: Matrix::zeros(0, 0),
+            s2: Matrix::zeros(0, 0),
+            rows: Vec::new(),
+            samples: Vec::new(),
+            preds: Vec::new(),
+            pred_by_pos: Vec::new(),
+            b_points: Vec::new(),
+            prices: Vec::new(),
+            due_queue_deadlines: Vec::new(),
+        }
+    }
+}
+
+/// A relaxed atomic decision counter. Atomic (not `Cell`) so the scheduler
+/// stays `Sync`; cloning snapshots the current count.
+#[derive(Debug, Default)]
+struct DecisionCounter(AtomicU64);
+
+impl Clone for DecisionCounter {
+    fn clone(&self) -> Self {
+        DecisionCounter(AtomicU64::new(self.get()))
+    }
+}
+
+impl DecisionCounter {
+    fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-victim context gathered by the event-mode deprivation loop before the
+/// fused Model-B forward: everything the offer clamp needs besides the
+/// B-points themselves.
+struct VictimCtx {
+    victim: AppId,
+    vs: CounterSample,
+    cores: usize,
+    ways: usize,
+    floor: (usize, usize),
+    wide_slack: bool,
+}
+
 impl OsmlScheduler {
     /// Creates a scheduler from trained models.
     pub fn new(models: Models, config: OsmlConfig) -> Self {
         OsmlScheduler {
             config,
             models,
-            records: BTreeMap::new(),
+            records: AppTable::new(),
             log: EventLog::new(),
             actions: 0,
+            timers: TimerQueue::default(),
+            scratch: BatchScratch::default(),
+            decisions: DecisionCounter::default(),
             last_fault_s: None,
             persistent_failures: 0,
             txn_depth: 0,
@@ -176,8 +291,11 @@ impl OsmlScheduler {
 
     /// Replaces the configuration (builder-style; used by the ablation
     /// studies to vary one knob at a time on an already-trained scheduler).
+    /// Rebuilds the timer wheel, so switching the tick engine mid-run is
+    /// safe in either direction.
     pub fn with_config(mut self, config: OsmlConfig) -> Self {
         self.config = config;
+        self.rebuild_timers();
         self
     }
 
@@ -396,7 +514,186 @@ impl OsmlScheduler {
     /// Model-B′ pricing with its inference span attached.
     fn price_slowdown(&self, sample: &CounterSample, dcores: usize, dways: usize) -> f64 {
         let _span = self.telemetry.span("model.b_prime.predict_us");
+        self.decisions.add(1);
         self.models.model_b_prime.predict(sample, dcores, dways)
+    }
+
+    /// The allocation floor a deprivation may not push `victim` below.
+    ///
+    /// "OSML moves away from the OAA to somewhere close to RCliff (saving
+    /// resources), but will not easily step into it" (§V-A): offers are
+    /// clamped so a victim never drops below its predicted RCliff (or
+    /// 1 core / 1 way if it was never profiled). If the prediction was
+    /// optimistic, the pending-reclaim rollback restores the victim on the
+    /// next sample. A victim meeting QoS at its current holding proves its
+    /// true cliff lies below it, so with wide measured slack a stale floor
+    /// above the holding is relaxed to allow at least one unit per
+    /// dimension.
+    fn victim_floor(
+        &self,
+        victim: AppId,
+        vcores: usize,
+        vways: usize,
+        wide_slack: bool,
+    ) -> (usize, usize) {
+        let floor = self
+            .records
+            .get(&victim)
+            .map(|r| (r.prediction.rcliff.cores, r.prediction.rcliff.ways))
+            .unwrap_or((1, 1));
+        if wide_slack {
+            (floor.0.min(vcores.saturating_sub(1)), floor.1.min(vways.saturating_sub(1)))
+        } else {
+            floor
+        }
+    }
+
+    /// Clamps a victim's three B-points into usable offers. Model-B
+    /// proposes; Model-B′ verifies ("minimal impact on the current
+    /// allocation status", Alg. 1 line 17): each offer shrinks until the
+    /// shadow model prices it within the budget. When the victim's
+    /// *measured* slack is wide, the measurement dominates the model — a
+    /// service at half its latency budget can afford a 15 % slowdown
+    /// regardless of what the learned surface says (deprivations are
+    /// withdrawn on the next sample if wrong).
+    #[allow(clippy::too_many_arguments)]
+    fn usable_offer(
+        &self,
+        points: &BPoints,
+        vs: &CounterSample,
+        vcores: usize,
+        vways: usize,
+        floor: (usize, usize),
+        wide_slack: bool,
+        budget: f64,
+    ) -> Vec<(usize, usize)> {
+        points
+            .iter()
+            .map(|p| {
+                let mut dc = p.cores.min(vcores.saturating_sub(floor.0));
+                let mut dw = p.ways.min(vways.saturating_sub(floor.1));
+                while !wide_slack && (dc > 0 || dw > 0) && self.price_slowdown(vs, dc, dw) > budget
+                {
+                    if dc >= dw && dc > 0 {
+                        dc -= 1;
+                    } else {
+                        dw = dw.saturating_sub(1);
+                    }
+                }
+                (dc, dw)
+            })
+            .collect()
+    }
+
+    /// Rebuilds the timer wheel from authoritative state (record deadlines
+    /// and the admission queue). Events are hints, so this is a plain
+    /// re-scheduling of every live deadline — called after recovery and
+    /// after a config swap. Scan mode keeps the wheel empty.
+    fn rebuild_timers(&mut self) {
+        self.timers.clear();
+        self.scratch.pred_by_pos.clear();
+        self.scratch.due_queue_deadlines.clear();
+        if !self.config.event_driven {
+            return;
+        }
+        let now = self.ticks;
+        for (&id, rec) in self.records.iter() {
+            if rec.cooldown_until > now {
+                self.timers.schedule(rec.cooldown_until, TimerEvent::CooldownExpiry(id));
+            }
+            for &(_, until) in &rec.blocked {
+                if until > now {
+                    self.timers.schedule(until, TimerEvent::BlockedExpiry(id));
+                }
+            }
+        }
+        let max_wait = self.config.overload.max_wait_ticks;
+        for e in &self.overload.queue {
+            self.timers.schedule_queue_deadline(e.enqueued_tick + max_wait, e.seq, e.ticket);
+        }
+    }
+
+    /// Event-mode tick prologue: pops every timer due at the current tick.
+    /// Record timers are garbage-collected on the spot (idempotent — the
+    /// authoritative deadline lives on the record, so a stale or duplicate
+    /// event drops without effect). Queue deadlines are buffered and handled
+    /// inside [`Self::overload_control`], the same tick position the
+    /// scan-based loop expires them at.
+    fn drain_due_timers(&mut self) {
+        let now = self.ticks;
+        while let Some(event) = self.timers.pop_due(now) {
+            match event {
+                TimerEvent::CooldownExpiry(id) => {
+                    if let Some(rec) = self.records.get_mut(&id) {
+                        if rec.cooldown_until != 0 && rec.cooldown_until <= now {
+                            rec.cooldown_until = 0;
+                        }
+                    }
+                }
+                TimerEvent::BlockedExpiry(id) => {
+                    if let Some(rec) = self.records.get_mut(&id) {
+                        rec.blocked.retain(|&(_, until)| until > now);
+                    }
+                }
+                TimerEvent::QueueDeadline { ticket } => {
+                    self.scratch.due_queue_deadlines.push(ticket);
+                }
+            }
+        }
+    }
+
+    /// Event-mode Model-A pre-pass: gathers one feature row per service
+    /// that will refresh its prediction this tick and runs a single fused
+    /// forward pass over the whole batch. The per-service loop consumes the
+    /// results at its refresh site and falls back to a scalar predict for
+    /// anything the gather could not anticipate (e.g. a pending action that
+    /// settles moments before the refresh). The decode path is shared with
+    /// the scalar predict, so batched and scalar results are bit-identical.
+    ///
+    /// The gather reads `server.sample` directly — a pure window-cached
+    /// read on deterministic substrates; the authoritative `fresh_sample`
+    /// call with its fault logging and `last_good` update still happens in
+    /// the loop body. (On chaos substrates with per-call fault streams the
+    /// extra reads shift the stream, which is why `event_driven` defaults
+    /// to off; see [`OsmlConfig::event_driven`].)
+    fn batch_model_a_refresh<S: Substrate>(&mut self, server: &Retrying<'_, S>, ids: &[AppId]) {
+        self.scratch.pred_by_pos.clear();
+        self.scratch.pred_by_pos.resize(ids.len(), None);
+        self.scratch.rows.clear();
+        self.scratch.samples.clear();
+        for (pos, &id) in ids.iter().enumerate() {
+            let Some(rec) = self.records.get(&id) else { continue };
+            if rec.fallback || rec.pending.is_some() {
+                continue;
+            }
+            let Some(sample) = server.sample(id).filter(CounterSample::is_valid).or(rec.last_good)
+            else {
+                continue;
+            };
+            self.scratch.rows.push(pos);
+            self.scratch.samples.push(sample);
+        }
+        if self.scratch.rows.is_empty() {
+            return;
+        }
+        let scratch = &mut self.scratch;
+        scratch.inputs.reset(scratch.rows.len(), BASE_FEATURES);
+        for (r, sample) in scratch.samples.iter().enumerate() {
+            write_base_features(sample, scratch.inputs.row_mut(r));
+        }
+        {
+            let _span = self.telemetry.span("model.a.predict_us");
+            self.models.model_a.predict_batch_into(
+                &scratch.inputs,
+                &mut scratch.s1,
+                &mut scratch.s2,
+                &mut scratch.preds,
+            );
+        }
+        self.decisions.add(scratch.preds.len() as u64);
+        for (i, &pos) in scratch.rows.iter().enumerate() {
+            scratch.pred_by_pos[pos] = Some((scratch.preds[i], scratch.samples[i]));
+        }
     }
 
     /// Whether placement paths enforce strict overlap hygiene: whenever a
@@ -680,6 +977,11 @@ impl OsmlScheduler {
             need_cores,
             need_ways,
         });
+        if self.config.event_driven {
+            // Arm the waiter's max-wait horizon; the entry's own seq is the
+            // tie-break so same-tick timeouts drain in queue order.
+            self.timers.schedule_queue_deadline(self.ticks + cfg.max_wait_ticks, seq, id.0);
+        }
         self.overload.suppress_credit_for = Some(id.0);
         self.log.push(now, Some(id), EventKind::QueueDeferred { depth: self.overload.queue.len() });
         self.emit_trace(
@@ -708,18 +1010,54 @@ impl OsmlScheduler {
         // mid-retry and judged by its arrival instead).
         let in_flight = self.overload.in_flight;
         let ticks = self.ticks;
-        let (expired, kept): (Vec<QueuedEntry>, Vec<QueuedEntry>) =
-            self.overload.queue.drain(..).partition(|e| {
-                Some(e.ticket) != in_flight
-                    && ticks.saturating_sub(e.enqueued_tick) >= cfg.max_wait_ticks
-            });
-        self.overload.queue = kept;
-        for e in expired {
-            let waited = ticks.saturating_sub(e.enqueued_tick);
-            let app = Some(AppId(e.ticket));
-            self.log.push(now, app, EventKind::QueueTimedOut { waited_ticks: waited });
-            self.note_rejection(now, app, RejectReason::WaitTimeout);
-            self.telemetry.counter_add("overload.timeouts", 1);
+        if self.config.event_driven {
+            // Deadline events popped at tick start stand in for the scan.
+            // Each is a hint re-checked against the authoritative queue
+            // entry: stale events (admitted, cancelled) drop; an in-flight
+            // or reused ticket re-arms instead of expiring a fresh waiter.
+            let mut due = std::mem::take(&mut self.scratch.due_queue_deadlines);
+            for ticket in due.drain(..) {
+                let Some(pos) = self.overload.queue.iter().position(|e| e.ticket == ticket) else {
+                    continue;
+                };
+                let entry = self.overload.queue[pos];
+                if Some(ticket) == in_flight {
+                    // Mid-retry: keeps its seat; re-check next tick.
+                    self.timers.schedule_queue_deadline(ticks + 1, entry.seq, ticket);
+                    continue;
+                }
+                let waited = ticks.saturating_sub(entry.enqueued_tick);
+                if waited < cfg.max_wait_ticks {
+                    // The ticket number was reused by a newer entry; re-arm
+                    // at that entry's own horizon.
+                    self.timers.schedule_queue_deadline(
+                        entry.enqueued_tick + cfg.max_wait_ticks,
+                        entry.seq,
+                        ticket,
+                    );
+                    continue;
+                }
+                self.overload.queue.remove(pos);
+                let app = Some(AppId(ticket));
+                self.log.push(now, app, EventKind::QueueTimedOut { waited_ticks: waited });
+                self.note_rejection(now, app, RejectReason::WaitTimeout);
+                self.telemetry.counter_add("overload.timeouts", 1);
+            }
+            self.scratch.due_queue_deadlines = due;
+        } else {
+            let (expired, kept): (Vec<QueuedEntry>, Vec<QueuedEntry>) =
+                self.overload.queue.drain(..).partition(|e| {
+                    Some(e.ticket) != in_flight
+                        && ticks.saturating_sub(e.enqueued_tick) >= cfg.max_wait_ticks
+                });
+            self.overload.queue = kept;
+            for e in expired {
+                let waited = ticks.saturating_sub(e.enqueued_tick);
+                let app = Some(AppId(e.ticket));
+                self.log.push(now, app, EventKind::QueueTimedOut { waited_ticks: waited });
+                self.note_rejection(now, app, RejectReason::WaitTimeout);
+                self.telemetry.counter_add("overload.timeouts", 1);
+            }
         }
         // Reclaim-slack retry signal: idle capacity grew since last tick
         // (Algorithm 3 reclaimed, a shave landed, a neighbour shrank).
@@ -1018,6 +1356,7 @@ impl OsmlScheduler {
         };
         let prediction = {
             let _span = self.telemetry.span("model.a.predict_us");
+            self.decisions.add(1);
             self.models.model_a.predict(&sample)
         };
         self.records.insert(
@@ -1025,7 +1364,7 @@ impl OsmlScheduler {
             AppRecord {
                 prediction,
                 pending: None,
-                reclaim_cooldown: 0,
+                cooldown_until: 0,
                 blocked: Vec::new(),
                 reclaim_floor: None,
                 migration_requested: false,
@@ -1146,9 +1485,14 @@ impl OsmlScheduler {
             return self.try_allocate_dedicated(server, id, target_cores, target_ways, op);
         }
 
-        // Line 10-15: collect every neighbour's B-points.
+        // Line 10-15: collect every neighbour's B-points. In event mode the
+        // per-victim Model-B forwards are deferred and fused into a single
+        // batched pass; the substrate reads (latency, sample, allocation)
+        // keep their exact per-victim order, so only pure model calls move.
         let budget = self.config.deprive_slowdown_budget;
+        let event_driven = self.config.event_driven;
         let mut offers: Vec<(AppId, Vec<(usize, usize)>)> = Vec::new();
+        let mut gathered: Vec<VictimCtx> = Vec::new();
         for victim in server.apps() {
             if victim == id {
                 continue;
@@ -1161,60 +1505,69 @@ impl OsmlScheduler {
             }
             let Some(vs) = self.fresh_sample(server, victim) else { continue };
             let Some(valloc) = server.allocation(victim) else { continue };
+            if event_driven {
+                let wide_slack =
+                    server.latency(victim).map(|l| l.qos_slack() > 0.4).unwrap_or(false);
+                let cores = valloc.cores.count();
+                let ways = valloc.ways.count();
+                let floor = self.victim_floor(victim, cores, ways, wide_slack);
+                gathered.push(VictimCtx { victim, vs, cores, ways, floor, wide_slack });
+                continue;
+            }
             let points = {
                 let _span = self.telemetry.span("model.b.predict_us");
+                self.decisions.add(1);
                 self.models.model_b.predict(&vs, budget)
             };
-            // "OSML moves away from the OAA to somewhere close to RCliff
-            // (saving resources), but will not easily step into it" (§V-A):
-            // clamp offers so a victim never drops below its predicted
-            // RCliff (or 1 core / 1 way if it was never profiled).
-            // Victims are never pushed below their predicted cliff; if the
-            // prediction was optimistic, the pending-reclaim rollback below
-            // restores them on the next sample.
-            let floor = self
-                .records
-                .get(&victim)
-                .map(|r| (r.prediction.rcliff.cores, r.prediction.rcliff.ways))
-                .unwrap_or((1, 1));
-            // Model-B proposes; Model-B′ verifies ("minimal impact on the
-            // current allocation status", Alg. 1 line 17): shrink each offer
-            // until the shadow model prices it within the budget. When the
-            // victim's *measured* slack is wide, the measurement dominates
-            // the model — a service at half its latency budget can afford a
-            // 15 % slowdown regardless of what the learned surface says
-            // (deprivations are withdrawn on the next sample if wrong).
+            // When the victim's *measured* slack is wide, the measurement
+            // dominates the model — a service at half its latency budget
+            // can afford a 15 % slowdown regardless of what the learned
+            // surface says (deprivations are withdrawn if wrong).
             let wide_slack = server.latency(victim).map(|l| l.qos_slack() > 0.4).unwrap_or(false);
-            // A victim meeting QoS at its current holding proves its true
-            // cliff lies below it; a predicted floor above the holding is
-            // stale. With wide slack, allow at least one unit per dimension.
-            let floor = if wide_slack {
-                (
-                    floor.0.min(valloc.cores.count().saturating_sub(1)),
-                    floor.1.min(valloc.ways.count().saturating_sub(1)),
-                )
-            } else {
-                floor
-            };
-            let usable: Vec<(usize, usize)> = points
-                .iter()
-                .map(|p| {
-                    let mut dc = p.cores.min(valloc.cores.count().saturating_sub(floor.0));
-                    let mut dw = p.ways.min(valloc.ways.count().saturating_sub(floor.1));
-                    while !wide_slack
-                        && (dc > 0 || dw > 0)
-                        && self.price_slowdown(&vs, dc, dw) > budget
-                    {
-                        if dc >= dw && dc > 0 {
-                            dc -= 1;
-                        } else {
-                            dw = dw.saturating_sub(1);
-                        }
-                    }
-                    (dc, dw)
-                })
-                .collect();
+            let floor =
+                self.victim_floor(victim, valloc.cores.count(), valloc.ways.count(), wide_slack);
+            let usable = self.usable_offer(
+                &points,
+                &vs,
+                valloc.cores.count(),
+                valloc.ways.count(),
+                floor,
+                wide_slack,
+                budget,
+            );
             offers.push((victim, usable));
+        }
+        if event_driven && !gathered.is_empty() {
+            // One fused Model-B forward over every victim's feature row.
+            {
+                let scratch = &mut self.scratch;
+                scratch.inputs.reset(gathered.len(), MODEL_B_INPUTS);
+                for (r, ctx) in gathered.iter().enumerate() {
+                    write_model_b_input(&ctx.vs, budget, scratch.inputs.row_mut(r));
+                }
+                let _span = self.telemetry.span("model.b.predict_us");
+                self.models.model_b.predict_batch_into(
+                    &scratch.inputs,
+                    &mut scratch.s1,
+                    &mut scratch.s2,
+                    &mut scratch.b_points,
+                );
+            }
+            self.decisions.add(gathered.len() as u64);
+            let points_batch = std::mem::take(&mut self.scratch.b_points);
+            for (ctx, points) in gathered.iter().zip(&points_batch) {
+                let usable = self.usable_offer(
+                    points,
+                    &ctx.vs,
+                    ctx.cores,
+                    ctx.ways,
+                    ctx.floor,
+                    ctx.wide_slack,
+                    budget,
+                );
+                offers.push((ctx.victim, usable));
+            }
+            self.scratch.b_points = points_batch;
         }
 
         // Lines 16-17: best-fit search over subsets of ≤ 3 victims, each
@@ -1284,7 +1637,13 @@ impl OsmlScheduler {
         let blocked: Vec<Action> = self
             .records
             .get(&id)
-            .map(|r| r.blocked.iter().map(|&(a, _)| a).collect())
+            .map(|r| {
+                r.blocked
+                    .iter()
+                    .filter(|&&(_, until)| until > self.ticks)
+                    .map(|&(a, _)| a)
+                    .collect()
+            })
             .unwrap_or_default();
         let achievable = |a: Action| -> bool {
             if a.dcores < 0 || a.dways < 0 || a == Action::noop() || blocked.contains(&a) {
@@ -1298,6 +1657,7 @@ impl OsmlScheduler {
         };
         let chosen = {
             let _span = self.telemetry.span("model.c.infer_us");
+            self.decisions.add(1);
             self.models.model_c.best_action_where(&sample, achievable)
         };
         let grow = TraceOp::new(ActionKind::Grant, Provenance::ModelC);
@@ -1329,6 +1689,7 @@ impl OsmlScheduler {
         // §VI-D-3), and finally consider sharing (Algorithm 4).
         let wanted = {
             let _span = self.telemetry.span("model.c.infer_us");
+            self.decisions.add(1);
             self.models
                 .model_c
                 .best_action_where(&sample, |a| {
@@ -1414,7 +1775,7 @@ impl OsmlScheduler {
         sample: CounterSample,
     ) {
         let Some(record) = self.records.get(&id) else { return };
-        if record.reclaim_cooldown > 0 {
+        if record.cooldown_until > self.ticks {
             return;
         }
         // A proven floor silences probing while the workload is unchanged.
@@ -1446,6 +1807,7 @@ impl OsmlScheduler {
         }
         let action = {
             let _span = self.telemetry.span("model.c.infer_us");
+            self.decisions.add(1);
             self.models
                 .model_c
                 .best_action_where(&sample, |a| {
@@ -1513,7 +1875,7 @@ impl OsmlScheduler {
         if need_cores == 0 && need_ways == 0 {
             return Placement::Rejected(RejectReason::InsufficientResources);
         }
-        let target = self.records[&id].prediction.oaa;
+        let target = self.records.get(&id).expect("checked above").prediction.oaa;
 
         // Core time-sharing between latency-critical services collapses both
         // (split cycles plus context switches), so sharing is LLC-way only —
@@ -1532,8 +1894,12 @@ impl OsmlScheduler {
         }
 
         // Lines 2-5: price sharing with each potential neighbour via
-        // Model-B′.
+        // Model-B′. In event mode the per-neighbour forwards are fused into
+        // one batched pass; the substrate reads keep their per-neighbour
+        // order and the selection rule (strict `<`, first wins on ties) is
+        // unchanged, so both modes pick the same neighbour.
         let mut best: Option<(AppId, f64)> = None;
+        let mut cands: Vec<(AppId, CounterSample)> = Vec::new();
         for neighbor in server.apps() {
             if neighbor == id {
                 continue;
@@ -1547,9 +1913,35 @@ impl OsmlScheduler {
             if nalloc.ways.count() <= need_ways {
                 continue;
             }
+            if self.config.event_driven {
+                cands.push((neighbor, ns));
+                continue;
+            }
             let slowdown = self.price_slowdown(&ns, 0, need_ways);
             if best.is_none_or(|(_, s)| slowdown < s) {
                 best = Some((neighbor, slowdown));
+            }
+        }
+        if !cands.is_empty() {
+            {
+                let scratch = &mut self.scratch;
+                scratch.inputs.reset(cands.len(), MODEL_B_PRIME_INPUTS);
+                for (r, (_, ns)) in cands.iter().enumerate() {
+                    write_model_b_prime_input(ns, 0, need_ways, scratch.inputs.row_mut(r));
+                }
+                let _span = self.telemetry.span("model.b_prime.predict_us");
+                self.models.model_b_prime.predict_batch_into(
+                    &scratch.inputs,
+                    &mut scratch.s1,
+                    &mut scratch.s2,
+                    &mut scratch.prices,
+                );
+            }
+            self.decisions.add(cands.len() as u64);
+            for ((neighbor, _), &slowdown) in cands.iter().zip(&self.scratch.prices) {
+                if best.is_none_or(|(_, s)| slowdown < s) {
+                    best = Some((*neighbor, slowdown));
+                }
             }
         }
 
@@ -1722,11 +2114,12 @@ impl OsmlScheduler {
                     // broke QoS counts against the model path: the decision
                     // was made on suspect data.
                     let strike = self.platform_unhealthy(server.now());
+                    let until = self.ticks + RECLAIM_COOLDOWN_TICKS;
                     if let Some(rec) = self.records.get_mut(&id) {
                         if strike {
                             rec.failed_ml_actions += 1;
                         }
-                        rec.reclaim_cooldown = RECLAIM_COOLDOWN_TICKS;
+                        rec.cooldown_until = until;
                         // This holding is proven minimal for the current
                         // load: stop probing until the workload changes.
                         rec.reclaim_floor = Some((
@@ -1734,6 +2127,9 @@ impl OsmlScheduler {
                             rollback.ways.count(),
                             pending.before.cpu_usage,
                         ));
+                    }
+                    if self.config.event_driven {
+                        self.timers.schedule(until, TimerEvent::CooldownExpiry(id));
                     }
                 }
             }
@@ -1750,11 +2146,15 @@ impl OsmlScheduler {
                     // faults are fresh — this gate is what keeps fault-free
                     // runs bit-identical to the pre-resilience controller.
                     let strike = self.platform_unhealthy(server.now());
+                    let until = self.ticks + BLOCKED_ACTION_TICKS;
                     if let Some(rec) = self.records.get_mut(&id) {
-                        rec.blocked.push((pending.action, BLOCKED_ACTION_TICKS));
+                        rec.blocked.push((pending.action, until));
                         if strike {
                             rec.failed_ml_actions += 1;
                         }
+                    }
+                    if self.config.event_driven {
+                        self.timers.schedule(until, TimerEvent::BlockedExpiry(id));
                     }
                 }
             }
@@ -1764,15 +2164,22 @@ impl OsmlScheduler {
 
 impl AppRecord {
     /// The durable image of this record (the in-flight pending action is
-    /// deliberately not captured; see [`AppSnapshot`]).
-    fn to_snapshot<S: Substrate>(&self, server: &S, id: AppId) -> AppSnapshot {
+    /// deliberately not captured; see [`AppSnapshot`]). Timer deadlines are
+    /// stored as *remaining* ticks relative to `now_tick`, so a snapshot is
+    /// meaningful whatever tick the restarted controller resumes at.
+    fn to_snapshot<S: Substrate>(&self, server: &S, id: AppId, now_tick: u64) -> AppSnapshot {
         AppSnapshot {
             id: id.0,
             prediction: self.prediction,
             allocation: server.allocation(id),
             had_pending: self.pending.is_some(),
-            reclaim_cooldown: self.reclaim_cooldown,
-            blocked: self.blocked.clone(),
+            reclaim_cooldown: self.cooldown_until.saturating_sub(now_tick) as usize,
+            blocked: self
+                .blocked
+                .iter()
+                .map(|&(a, until)| (a, until.saturating_sub(now_tick) as usize))
+                .filter(|&(_, remaining)| remaining > 0)
+                .collect(),
             reclaim_floor: self.reclaim_floor,
             migration_requested: self.migration_requested,
             violation_ticks: self.violation_ticks,
@@ -1784,13 +2191,23 @@ impl AppRecord {
         }
     }
 
-    /// Rebuilds a record from its durable image.
-    fn from_snapshot(snap: &AppSnapshot) -> Self {
+    /// Rebuilds a record from its durable image, re-anchoring the relative
+    /// timer deadlines at `now_tick`.
+    fn from_snapshot(snap: &AppSnapshot, now_tick: u64) -> Self {
         AppRecord {
             prediction: snap.prediction,
             pending: None, // abandoned: its "after" sample would span the outage
-            reclaim_cooldown: snap.reclaim_cooldown,
-            blocked: snap.blocked.clone(),
+            cooldown_until: if snap.reclaim_cooldown == 0 {
+                0
+            } else {
+                now_tick + snap.reclaim_cooldown as u64
+            },
+            blocked: snap
+                .blocked
+                .iter()
+                .filter(|&&(_, remaining)| remaining > 0)
+                .map(|&(a, remaining)| (a, now_tick + remaining as u64))
+                .collect(),
             reclaim_floor: snap.reclaim_floor,
             migration_requested: snap.migration_requested,
             violation_ticks: snap.violation_ticks,
@@ -1807,7 +2224,7 @@ impl AppRecord {
         AppRecord {
             prediction,
             pending: None,
-            reclaim_cooldown: 0,
+            cooldown_until: 0,
             blocked: Vec::new(),
             reclaim_floor: None,
             migration_requested: false,
@@ -1839,7 +2256,11 @@ impl OsmlScheduler {
             persistent_failures: self.persistent_failures,
             config: self.config.clone(),
             log: self.log.clone(),
-            apps: self.records.iter().map(|(&id, rec)| rec.to_snapshot(server, id)).collect(),
+            apps: self
+                .records
+                .iter()
+                .map(|(&id, rec)| rec.to_snapshot(server, id, self.ticks))
+                .collect(),
             overload: self.overload.clone(),
         }
     }
@@ -1935,13 +2356,16 @@ impl OsmlScheduler {
                     if app.allocation.is_some() && app.allocation != server.allocation(id) {
                         report.alloc_drift += 1;
                     }
-                    scheduler.records.insert(id, AppRecord::from_snapshot(&app));
+                    scheduler.records.insert(id, AppRecord::from_snapshot(&app, scheduler.ticks));
                     report.restored += 1;
                 }
                 None => {
                     let sample = server.sample(id).filter(CounterSample::is_valid);
                     let prediction = match &sample {
-                        Some(s) => scheduler.models.model_a.predict(s),
+                        Some(s) => {
+                            scheduler.decisions.add(1);
+                            scheduler.models.model_a.predict(s)
+                        }
                         None => Self::conservative_prediction(server.allocation(id)),
                     };
                     scheduler.records.insert(id, AppRecord::adopted(prediction, sample));
@@ -1964,6 +2388,7 @@ impl OsmlScheduler {
         scheduler.overload.shaved.retain(|s| live.iter().any(|id| id.0 == s.app));
 
         scheduler.repair_layout(server, &mut report);
+        scheduler.rebuild_timers();
         scheduler.log.push(
             server.now(),
             None,
@@ -2093,16 +2518,32 @@ impl Scheduler for OsmlScheduler {
         let server = &mut server;
         self.ticks += 1;
         self.telemetry.counter_add("scheduler.ticks", 1);
-        for record in self.records.values_mut() {
-            record.reclaim_cooldown = record.reclaim_cooldown.saturating_sub(1);
-            for entry in &mut record.blocked {
-                entry.1 = entry.1.saturating_sub(1);
+        if self.config.event_driven {
+            // Timer wheel: only deadlines actually due this tick pop; idle
+            // services cost nothing.
+            self.drain_due_timers();
+        } else {
+            // Legacy scan, rephrased over absolute deadlines: a record with
+            // no armed timer is skipped without touching its fields, fixing
+            // the per-record decrement walk that wrote every record every
+            // tick. Deadlines are authoritative, so "GC" here is just
+            // clearing expired entries.
+            for record in self.records.values_mut() {
+                if record.cooldown_until == 0 && record.blocked.is_empty() {
+                    continue;
+                }
+                if record.cooldown_until <= self.ticks {
+                    record.cooldown_until = 0;
+                }
+                record.blocked.retain(|&(_, until)| until > self.ticks);
             }
-            record.blocked.retain(|&(_, ticks)| ticks > 0);
         }
         let actions_before = self.actions;
         let ids = server.apps();
-        for id in ids {
+        if self.config.event_driven {
+            self.batch_model_a_refresh(server, &ids);
+        }
+        for (pos, &id) in ids.iter().enumerate() {
             self.settle_pending(server, id);
             let Some(lat) = server.latency(id) else { continue };
             if !self.records.contains_key(&id) {
@@ -2165,10 +2606,21 @@ impl Scheduler for OsmlScheduler {
             // Keep Model-A's view fresh: the profiling module forwards the
             // current counters every second (§V-B), so predictions made
             // from a noisy arrival sample self-correct once the service
-            // runs on a dedicated allocation.
+            // runs on a dedicated allocation. In event mode the prediction
+            // usually comes out of the batched pre-pass; the scalar path
+            // remains as the fallback for anything the gather could not
+            // anticipate (e.g. a pending action settled moments ago), and
+            // both decode identically.
             if record.pending.is_none() {
-                let _span = self.telemetry.span("model.a.predict_us");
-                record.prediction = self.models.model_a.predict(&sample);
+                record.prediction =
+                    match self.scratch.pred_by_pos.get_mut(pos).and_then(Option::take) {
+                        Some((pred, gathered)) if gathered == sample => pred,
+                        _ => {
+                            let _span = self.telemetry.span("model.a.predict_us");
+                            self.decisions.add(1);
+                            self.models.model_a.predict(&sample)
+                        }
+                    };
             }
             if guarded_violation(&lat) {
                 if let Some(rec) = self.records.get_mut(&id) {
@@ -2194,6 +2646,7 @@ impl Scheduler for OsmlScheduler {
         if self.telemetry.is_enabled() {
             self.telemetry.gauge_set("scheduler.actions_total", self.actions as f64);
             self.telemetry.gauge_set("scheduler.services", self.records.len() as f64);
+            self.telemetry.gauge_set("scheduler.pending_timers", self.timers.len() as f64);
             self.telemetry.gauge_set("scheduler.time_s", server.now());
         }
     }
@@ -2218,6 +2671,10 @@ impl Scheduler for OsmlScheduler {
 
     fn action_count(&self) -> usize {
         self.actions
+    }
+
+    fn decision_count(&self) -> u64 {
+        self.decisions.get()
     }
 }
 

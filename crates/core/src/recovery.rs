@@ -41,7 +41,7 @@ use std::path::{Path, PathBuf};
 /// Format version written into every snapshot envelope; bumped on breaking
 /// changes to the snapshot schema. A mismatch is surfaced as
 /// [`RecoveryError::VersionMismatch`] and the controller cold-starts.
-pub const SNAPSHOT_VERSION: u32 = 2;
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// Durable image of one service's controller state — the serializable
 /// mirror of the scheduler's private per-app record, minus the in-flight
@@ -556,10 +556,10 @@ mod tests {
     #[test]
     fn foreign_version_is_rejected() {
         let snap = snapshot_from(1, 1, false);
-        let text = encode_snapshot(&snap).replacen("\"version\":2", "\"version\":99", 1);
+        let text = encode_snapshot(&snap).replacen("\"version\":3", "\"version\":99", 1);
         assert!(matches!(
             decode_snapshot(&text),
-            Err(RecoveryError::VersionMismatch { found: 99, expected: 2 })
+            Err(RecoveryError::VersionMismatch { found: 99, expected: 3 })
         ));
     }
 

@@ -111,8 +111,10 @@ impl Matrix {
 
     /// Reshapes to `rows × cols`, reusing the existing allocation when the
     /// element count is unchanged. Contents are unspecified afterwards; the
-    /// `*_into` kernels overwrite every element.
-    pub(crate) fn reset(&mut self, rows: usize, cols: usize) {
+    /// `*_into` kernels overwrite every element. Public so callers building
+    /// inference batches row by row (the scheduler's gather pass) can reuse
+    /// one buffer across ticks.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
         let len = rows * cols;
         self.rows = rows;
         self.cols = cols;

@@ -125,26 +125,50 @@ impl Mlp {
     ///
     /// Panics if the column count differs from the input width.
     pub fn forward_batch(&self, input: &Matrix) -> Matrix {
+        let mut a = Matrix::zeros(0, 0);
+        let mut b = Matrix::zeros(0, 0);
+        let _ = self.forward_batch_into(input, &mut a, &mut b);
+        if (self.layers.len() - 1).is_multiple_of(2) {
+            a
+        } else {
+            b
+        }
+    }
+
+    /// Forward pass for a batch into caller-provided scratch matrices,
+    /// allocating nothing once the scratch has warmed up to the layer widths.
+    /// Returns a borrow of whichever scratch holds the output.
+    ///
+    /// Row `i` of the result is bit-identical to `forward(input.row(i))`: the
+    /// fused kernel computes every output row independently with the same
+    /// f32 operation sequence regardless of batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count differs from the input width.
+    pub fn forward_batch_into<'s>(
+        &self,
+        input: &Matrix,
+        scratch_a: &'s mut Matrix,
+        scratch_b: &'s mut Matrix,
+    ) -> &'s Matrix {
         assert_eq!(input.cols(), self.input_size(), "input width mismatch");
         let n_layers = self.layers.len();
-        let mut bufs = [Matrix::zeros(0, 0), Matrix::zeros(0, 0)];
         for (i, layer) in self.layers.iter().enumerate() {
             let relu = i + 1 < n_layers; // hidden layers ReLU, output linear
-            let (a, b) = bufs.split_at_mut(1);
             let (src, dst): (&Matrix, &mut Matrix) = if i == 0 {
-                (input, &mut a[0])
+                (input, &mut *scratch_a)
             } else if i % 2 == 1 {
-                (&a[0], &mut b[0])
+                (scratch_a, scratch_b)
             } else {
-                (&b[0], &mut a[0])
+                (scratch_b, scratch_a)
             };
             src.matmul_bias_act_into(&layer.weights, &layer.bias, relu, dst);
         }
-        let [b0, b1] = bufs;
         if (n_layers - 1).is_multiple_of(2) {
-            b0
+            scratch_a
         } else {
-            b1
+            scratch_b
         }
     }
 

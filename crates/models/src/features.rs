@@ -40,19 +40,24 @@ pub const LATENCY_LOG_SCALE: f64 = 5.0;
 /// would otherwise poison every downstream matmul and, with online
 /// learning, every weight it touches.
 pub fn base_features(sample: &CounterSample) -> Vec<f32> {
-    sample
-        .model_a_features()
-        .iter()
-        .zip(FEATURE_SCALES.iter())
-        .map(|(&v, &s)| {
-            let n = (v / s) as f32;
-            if n.is_finite() {
-                n
-            } else {
-                0.0
-            }
-        })
-        .collect()
+    let mut v = vec![0.0; BASE_FEATURES];
+    write_base_features(sample, &mut v);
+    v
+}
+
+/// Writes the 11 normalized base features into `out` without allocating —
+/// the batched-inference gather fills one matrix row per service with this.
+/// Exactly the arithmetic of [`base_features`].
+///
+/// # Panics
+///
+/// Panics if `out.len() != BASE_FEATURES`.
+pub fn write_base_features(sample: &CounterSample, out: &mut [f32]) {
+    assert_eq!(out.len(), BASE_FEATURES, "feature row width mismatch");
+    for ((o, &v), &s) in out.iter_mut().zip(sample.model_a_features().iter()).zip(&FEATURE_SCALES) {
+        let n = (v / s) as f32;
+        *o = if n.is_finite() { n } else { 0.0 };
+    }
 }
 
 /// Model-A input: the 11 normalized base features.
@@ -63,9 +68,20 @@ pub fn model_a_input(sample: &CounterSample) -> Vec<f32> {
 /// Model-B input: base features plus the acceptable QoS slowdown (e.g. 0.05
 /// for "5 % slower is tolerable").
 pub fn model_b_input(sample: &CounterSample, qos_slowdown: f64) -> Vec<f32> {
-    let mut v = base_features(sample);
-    v.push(qos_slowdown as f32);
+    let mut v = vec![0.0; MODEL_B_INPUTS];
+    write_model_b_input(sample, qos_slowdown, &mut v);
     v
+}
+
+/// Non-allocating [`model_b_input`] writing into a matrix row.
+///
+/// # Panics
+///
+/// Panics if `out.len() != MODEL_B_INPUTS`.
+pub fn write_model_b_input(sample: &CounterSample, qos_slowdown: f64, out: &mut [f32]) {
+    assert_eq!(out.len(), MODEL_B_INPUTS, "feature row width mismatch");
+    write_base_features(sample, &mut out[..BASE_FEATURES]);
+    out[BASE_FEATURES] = qos_slowdown as f32;
 }
 
 /// Model-B' input: base features plus a proposed deprivation in cores and
@@ -75,10 +91,26 @@ pub fn model_b_prime_input(
     cores_taken: usize,
     ways_taken: usize,
 ) -> Vec<f32> {
-    let mut v = base_features(sample);
-    v.push(cores_taken as f32 / 36.0);
-    v.push(ways_taken as f32 / 20.0);
+    let mut v = vec![0.0; MODEL_B_PRIME_INPUTS];
+    write_model_b_prime_input(sample, cores_taken, ways_taken, &mut v);
     v
+}
+
+/// Non-allocating [`model_b_prime_input`] writing into a matrix row.
+///
+/// # Panics
+///
+/// Panics if `out.len() != MODEL_B_PRIME_INPUTS`.
+pub fn write_model_b_prime_input(
+    sample: &CounterSample,
+    cores_taken: usize,
+    ways_taken: usize,
+    out: &mut [f32],
+) {
+    assert_eq!(out.len(), MODEL_B_PRIME_INPUTS, "feature row width mismatch");
+    write_base_features(sample, &mut out[..BASE_FEATURES]);
+    out[BASE_FEATURES] = cores_taken as f32 / 36.0;
+    out[BASE_FEATURES + 1] = ways_taken as f32 / 20.0;
 }
 
 /// Model-C state: base features plus the log-scaled response latency

@@ -89,6 +89,12 @@ impl ModelA {
     /// Predicts OAA, OAA bandwidth, and RCliff from one counter sample.
     pub fn predict(&self, sample: &CounterSample) -> OaaPrediction {
         let out = self.mlp.forward(&features::model_a_input(sample));
+        self.decode(&out)
+    }
+
+    /// Decodes one raw output row into machine coordinates — shared by the
+    /// scalar and batched paths so they are bit-identical by construction.
+    fn decode(&self, out: &[f32]) -> OaaPrediction {
         let clamp = |v: f32, scale: f32, max: usize| -> usize {
             ((v * scale).round() as i64).clamp(1, max as i64) as usize
         };
@@ -102,6 +108,26 @@ impl ModelA {
         );
         let bw = (out[2] * OUTPUT_SCALES[2]).max(0.0) as f64;
         OaaPrediction::new(oaa, bw, rcliff)
+    }
+
+    /// Batched [`ModelA::predict`]: one fused forward pass over `inputs`
+    /// (one [`features::model_a_input`] row per service), decoding row `i`
+    /// into `out[i]`. `scratch_a`/`scratch_b` are layer ping-pong buffers
+    /// reused across calls; `out` is cleared and refilled. Bit-identical to
+    /// calling `predict` per row at any batch size.
+    pub fn predict_batch_into(
+        &self,
+        inputs: &Matrix,
+        scratch_a: &mut Matrix,
+        scratch_b: &mut Matrix,
+        out: &mut Vec<OaaPrediction>,
+    ) {
+        out.clear();
+        if inputs.rows() == 0 {
+            return;
+        }
+        let raw = self.mlp.forward_batch_into(inputs, scratch_a, scratch_b);
+        out.extend((0..raw.rows()).map(|r| self.decode(raw.row(r))));
     }
 
     /// Read access to the underlying network (for persistence).
@@ -183,6 +209,25 @@ mod tests {
         let hot = model.predict(&sample(5, 5, 1.0e8));
         let cold = model.predict(&sample(5, 5, 1.0e7));
         assert!(hot.oaa.cores > cold.oaa.cores, "{hot:?} vs {cold:?}");
+    }
+
+    #[test]
+    fn batched_predictions_match_scalar_at_any_batch_size() {
+        let model = ModelA::new(36, 20, 11);
+        let mut scratch_a = Matrix::zeros(0, 0);
+        let mut scratch_b = Matrix::zeros(0, 0);
+        let mut out = Vec::new();
+        for n in [1usize, 2, 7, 33] {
+            let samples: Vec<CounterSample> =
+                (0..n).map(|i| sample(1 + i % 12, 1 + i % 9, 1.0e7 * (1.0 + i as f64))).collect();
+            let mut inputs = Matrix::zeros(n, features::BASE_FEATURES);
+            for (r, s) in samples.iter().enumerate() {
+                inputs.row_mut(r).copy_from_slice(&features::model_a_input(s));
+            }
+            model.predict_batch_into(&inputs, &mut scratch_a, &mut scratch_b, &mut out);
+            let scalar: Vec<OaaPrediction> = samples.iter().map(|s| model.predict(s)).collect();
+            assert_eq!(out, scalar, "batch size {n}");
+        }
     }
 
     #[test]

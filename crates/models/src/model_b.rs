@@ -110,6 +110,12 @@ impl ModelB {
     /// slowdown OSML is willing to impose on it.
     pub fn predict(&self, sample: &CounterSample, qos_slowdown: f64) -> BPoints {
         let out = self.mlp.forward(&features::model_b_input(sample, qos_slowdown));
+        self.decode(&out)
+    }
+
+    /// Decodes one raw output row — shared by the scalar and batched paths
+    /// so they are bit-identical by construction.
+    fn decode(&self, out: &[f32]) -> BPoints {
         let clamp = |v: f32, scale: f32, max: usize| -> usize {
             ((v * scale).round() as i64).clamp(0, max as i64) as usize
         };
@@ -125,6 +131,25 @@ impl ModelB {
                 mk(2, DeprivePolicy::WaysDominated),
             ],
         }
+    }
+
+    /// Batched [`ModelB::predict`]: one fused forward pass over `inputs`
+    /// (one [`features::model_b_input`] row per candidate), decoding row `i`
+    /// into `out[i]`. Bit-identical to calling `predict` per row at any
+    /// batch size; the scratch matrices are reused across calls.
+    pub fn predict_batch_into(
+        &self,
+        inputs: &Matrix,
+        scratch_a: &mut Matrix,
+        scratch_b: &mut Matrix,
+        out: &mut Vec<BPoints>,
+    ) {
+        out.clear();
+        if inputs.rows() == 0 {
+            return;
+        }
+        let raw = self.mlp.forward_batch_into(inputs, scratch_a, scratch_b);
+        out.extend((0..raw.rows()).map(|r| self.decode(raw.row(r))));
     }
 
     /// Read access to the underlying network (for persistence).
@@ -161,6 +186,25 @@ impl ModelBPrime {
     pub fn predict(&self, sample: &CounterSample, cores_taken: usize, ways_taken: usize) -> f64 {
         let out = self.mlp.forward(&features::model_b_prime_input(sample, cores_taken, ways_taken));
         f64::from(out[0]).max(0.0)
+    }
+
+    /// Batched [`ModelBPrime::predict`]: one fused forward pass over
+    /// `inputs` (one [`features::model_b_prime_input`] row per priced
+    /// proposal), writing the slowdown for row `i` into `out[i]`.
+    /// Bit-identical to calling `predict` per row at any batch size.
+    pub fn predict_batch_into(
+        &self,
+        inputs: &Matrix,
+        scratch_a: &mut Matrix,
+        scratch_b: &mut Matrix,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        if inputs.rows() == 0 {
+            return;
+        }
+        let raw = self.mlp.forward_batch_into(inputs, scratch_a, scratch_b);
+        out.extend((0..raw.rows()).map(|r| f64::from(raw.row(r)[0]).max(0.0)));
     }
 
     /// Read access to the underlying network (for persistence).
@@ -271,6 +315,46 @@ mod tests {
         let cheap = model.predict(&sample(12, 12), 0, 1);
         let costly = model.predict(&sample(12, 12), 4, 4);
         assert!(costly > cheap, "taking more must cost more: {cheap} vs {costly}");
+    }
+
+    #[test]
+    fn batched_b_points_match_scalar_at_any_batch_size() {
+        let model = ModelB::new(36, 20, 13);
+        let mut scratch_a = Matrix::zeros(0, 0);
+        let mut scratch_b = Matrix::zeros(0, 0);
+        let mut out = Vec::new();
+        for n in [1usize, 2, 5, 29] {
+            let cases: Vec<(CounterSample, f64)> = (0..n)
+                .map(|i| (sample(1 + i % 14, 1 + i % 11), 0.05 * (1 + i % 4) as f64))
+                .collect();
+            let mut inputs = Matrix::zeros(n, features::MODEL_B_INPUTS);
+            for (r, (s, slow)) in cases.iter().enumerate() {
+                inputs.row_mut(r).copy_from_slice(&features::model_b_input(s, *slow));
+            }
+            model.predict_batch_into(&inputs, &mut scratch_a, &mut scratch_b, &mut out);
+            let scalar: Vec<BPoints> =
+                cases.iter().map(|(s, slow)| model.predict(s, *slow)).collect();
+            assert_eq!(out, scalar, "batch size {n}");
+        }
+    }
+
+    #[test]
+    fn batched_prices_match_scalar_at_any_batch_size() {
+        let model = ModelBPrime::new(17);
+        let mut scratch_a = Matrix::zeros(0, 0);
+        let mut scratch_b = Matrix::zeros(0, 0);
+        let mut out = Vec::new();
+        for n in [1usize, 3, 8, 21] {
+            let cases: Vec<(CounterSample, usize, usize)> =
+                (0..n).map(|i| (sample(2 + i % 10, 2 + i % 8), i % 5, (i / 2) % 5)).collect();
+            let mut inputs = Matrix::zeros(n, features::MODEL_B_PRIME_INPUTS);
+            for (r, (s, c, w)) in cases.iter().enumerate() {
+                inputs.row_mut(r).copy_from_slice(&features::model_b_prime_input(s, *c, *w));
+            }
+            model.predict_batch_into(&inputs, &mut scratch_a, &mut scratch_b, &mut out);
+            let scalar: Vec<f64> = cases.iter().map(|(s, c, w)| model.predict(s, *c, *w)).collect();
+            assert_eq!(out, scalar, "batch size {n}");
+        }
     }
 
     #[test]

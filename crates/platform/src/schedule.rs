@@ -103,4 +103,11 @@ pub trait Scheduler {
     /// Total scheduling actions (allocation changes) taken so far — the
     /// overhead metric of the paper's Fig. 15.
     fn action_count(&self) -> usize;
+
+    /// Total model inferences (Model-A/B/B′/C forward passes) run in service
+    /// of scheduling decisions — the numerator of the throughput benchmark's
+    /// decisions/sec metric. Schedulers without ML models report 0.
+    fn decision_count(&self) -> u64 {
+        0
+    }
 }
