@@ -15,6 +15,7 @@ pub mod chaos;
 pub mod grid;
 pub mod overload;
 pub mod perf;
+pub mod replay;
 pub mod report;
 pub mod scenario;
 pub mod suite;

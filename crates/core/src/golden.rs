@@ -1,0 +1,1009 @@
+//! The golden-thread unified event log: one typed, versioned stream with
+//! three distinct layers, sufficient for deterministic full-state replay.
+//!
+//! * **World facts** ([`WorldFact`]) — everything that would have happened
+//!   regardless of which controller was running: scripted arrivals and
+//!   departures coming due, processes launched/removed by the driver, load
+//!   changes, injected platform faults, the passage of monitoring time and
+//!   controller crashes.
+//! * **System decisions** ([`Decision`]) — what the controller did about
+//!   it: every allocation change (with model provenance and full pre/post
+//!   [`Allocation`]), admission-queue transitions, brownout entry/exit,
+//!   shave/shed bookkeeping, watchdog transitions and recovery.
+//! * **Operational telemetry** ([`TelemetryNote`]) — plumbing observations
+//!   (retries, fault sightings). Explicitly **excluded from replay**: the
+//!   [`replay`] fold ignores this layer entirely, and stripping it from a
+//!   log must not change the replayed state (pinned by tests).
+//!
+//! The sufficiency invariant: [`replay`] reconstructs the scheduler's
+//! observable state — final layouts, admission queue, shed stack, shave
+//! ledger, brownout flag, tick and action counters — from the world-fact +
+//! decision layers alone, bit-identical to the live scheduler that emitted
+//! them. The serialized form is a versioned JSONL stream whose reader
+//! tolerates a torn tail (only the final line can be damaged by a crash,
+//! because every event is flushed before the next is appended), which is
+//! what lets the unified log subsume the write-ahead journal's role in
+//! crash recovery.
+
+use crate::admission::{QueuedEntry, ShaveRecord, ShedEntry};
+use osml_platform::{Allocation, InjectedFault, RejectReason, SloClass};
+use osml_telemetry::{ActionKind, Provenance};
+use osml_workloads::Service;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Format version written as the JSONL header; bumped on breaking schema
+/// changes so a reader never misinterprets a foreign log.
+pub const UNIFIED_LOG_VERSION: u32 = 1;
+
+/// Why the driver launched a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LaunchCause {
+    /// A scripted arrival (exogenous: part of the offered world).
+    Scripted,
+    /// An admission retry of a queued or shed ticket (endogenous: a
+    /// consequence of controller decisions, re-derived on A/B replay).
+    AdmissionRetry,
+}
+
+/// Why the driver removed a process from the substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RemovalCause {
+    /// Its scripted lifetime ended (exogenous).
+    ScriptedDeparture,
+    /// The arrival was deferred into the admission queue and the process
+    /// withdrawn until its ticket is polled back (endogenous).
+    DeferredWithdrawal,
+    /// The arrival was rejected terminally (endogenous).
+    RejectedWithdrawal,
+    /// The controller shed the service during brownout (endogenous).
+    ShedWithdrawal,
+}
+
+/// Layer 1: a fact about the world. World facts are controller-independent
+/// where marked exogenous; endogenous launch/remove facts record what the
+/// driver's fixed policy did in response to decisions, so the fold can
+/// track substrate layouts exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorldFact {
+    /// A scripted arrival's time came due (whatever then happened to it).
+    ArrivalDue {
+        /// Stable identity of the scripted workload (script index).
+        workload: u64,
+        /// The service.
+        service: Service,
+        /// SLO class it is submitted under.
+        class: SloClass,
+        /// Thread count.
+        threads: usize,
+        /// Offered load at arrival, requests/s.
+        offered_rps: f64,
+    },
+    /// A scripted lifetime ended (whether the workload was live, waiting
+    /// or already gone).
+    DepartureDue {
+        /// Stable identity of the scripted workload (script index).
+        workload: u64,
+    },
+    /// The driver launched a process with its bootstrap allocation.
+    Launched {
+        /// The service.
+        service: Service,
+        /// SLO class.
+        class: SloClass,
+        /// Thread count.
+        threads: usize,
+        /// Offered load at launch, requests/s.
+        offered_rps: f64,
+        /// The bootstrap allocation installed at launch.
+        bootstrap: Allocation,
+        /// Scripted arrival or admission retry.
+        cause: LaunchCause,
+    },
+    /// The driver removed a process from the substrate.
+    Removed {
+        /// Why it was removed.
+        cause: RemovalCause,
+    },
+    /// The driver changed a live service's offered load.
+    LoadChanged {
+        /// New offered load, requests/s.
+        offered_rps: f64,
+    },
+    /// One monitoring interval elapsed (the scheduler's tick heartbeat).
+    TickElapsed,
+    /// The platform injected a fault (drained from the chaos substrate's
+    /// record stream — the fault schedule is part of the world).
+    FaultInjected {
+        /// Monotone faultable-call index that drew this fault.
+        call: u64,
+        /// What was injected.
+        fault: InjectedFault,
+    },
+    /// The controller process died and was warm-restarted.
+    ControllerCrashed,
+}
+
+/// Layer 2: a decision the controller made. Every state-mutating site in
+/// the scheduler emits exactly one of these (pinned by the emission-site
+/// audit test), which is what makes the [`replay`] fold sufficient.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Decision {
+    /// An allocation changed on the substrate.
+    Alloc {
+        /// What kind of move (place/grant/deprive/reclaim/share/rollback/
+        /// restore/repack/repair/bandwidth).
+        kind: ActionKind,
+        /// Which model (or controller machinery) drove it.
+        provenance: Provenance,
+        /// Allocation before the move.
+        pre: Option<Allocation>,
+        /// Allocation after the move (the fold's authoritative layout).
+        post: Allocation,
+        /// Whether the move counts toward the paper's action accounting.
+        counts_as_action: bool,
+    },
+    /// Model-A profiled a new arrival.
+    Profiled {
+        /// Predicted OAA cores.
+        oaa_cores: usize,
+        /// Predicted OAA ways.
+        oaa_ways: usize,
+        /// Predicted RCliff cores.
+        rcliff_cores: usize,
+        /// Predicted RCliff ways.
+        rcliff_ways: usize,
+    },
+    /// An arrival (or waiter) was rejected with a typed reason.
+    Rejected {
+        /// Why.
+        reason: RejectReason,
+    },
+    /// An arrival was deferred into the admission queue.
+    Deferred {
+        /// The complete queue entry (the fold reconstructs the queue from
+        /// these verbatim).
+        entry: QueuedEntry,
+    },
+    /// A queued waiter was admitted on retry.
+    Admitted {
+        /// The ticket whose seat is released.
+        ticket: u64,
+        /// Ticks it waited.
+        waited_ticks: u64,
+    },
+    /// A queued waiter expired at the max-wait horizon.
+    TimedOut {
+        /// The expired ticket.
+        ticket: u64,
+        /// Ticks it waited.
+        waited_ticks: u64,
+    },
+    /// A full queue evicted its least-protected entry for a better one.
+    Evicted {
+        /// The evicted ticket.
+        ticket: u64,
+    },
+    /// A waiting ticket was withdrawn by the driver.
+    Cancelled {
+        /// The cancelled ticket.
+        ticket: u64,
+    },
+    /// A best-effort service was shed during brownout.
+    Shed {
+        /// The complete shed-stack entry.
+        entry: ShedEntry,
+    },
+    /// A shed service was re-admitted.
+    ShedReadmitted {
+        /// The ticket leaving the shed stack.
+        ticket: u64,
+    },
+    /// A brownout shave landed on the event's service.
+    Shaved {
+        /// Model-B′-priced slowdown of this shave.
+        price: f64,
+        /// Allocation before the *first* shave (the restoration target).
+        original: Allocation,
+    },
+    /// The event's service left the shave ledger (restored, regrown, or
+    /// its record disappeared).
+    ShaveSettled,
+    /// The controller entered its declared degraded state.
+    BrownoutEntered {
+        /// Queue depth at entry.
+        queued: usize,
+    },
+    /// The controller left brownout.
+    BrownoutExited {
+        /// Ticks spent degraded.
+        ticks_degraded: u64,
+    },
+    /// The QoS watchdog quarantined the ML path for the event's service.
+    FallbackEngaged {
+        /// Consecutive failed/ineffective ML actions.
+        failures: u32,
+    },
+    /// The event's service left fallback quarantine.
+    FallbackRecovered {
+        /// Healthy ticks observed before re-engaging the models.
+        healthy_ticks: u32,
+    },
+    /// The upper scheduler was asked to migrate the event's service.
+    MigrationRequested,
+    /// A transaction aborted and restored the listed number of services
+    /// (each restore also emitted its own [`Decision::Alloc`]).
+    TransactionAborted {
+        /// Services restored.
+        services: usize,
+    },
+    /// The controller warm/cold-restarted and reconciled durable state
+    /// against the live substrate (the fold applies the same queue/shed/
+    /// shave sanitization recovery does).
+    Restarted {
+        /// Whether the snapshot verified.
+        warm: bool,
+        /// Services restored from snapshot records.
+        restored: usize,
+        /// Orphans adopted.
+        adopted: usize,
+        /// Snapshot records whose service departed during the outage.
+        dropped: usize,
+    },
+}
+
+/// Layer 3: an operational-telemetry observation. Never consulted by
+/// [`replay`]; stripping every [`TelemetryNote`] from a log leaves the
+/// replayed state bit-identical (pinned by tests). Metrics, spans and the
+/// structured decision trace continue to flow through `osml-telemetry`
+/// sinks; this layer records the scheduler-observed operational events in
+/// the unified stream so one file tells the whole story.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TelemetryNote {
+    /// The scheduler observed a platform fault (failed actuation, invalid
+    /// or dropped counter window).
+    FaultObserved {
+        /// Whether it was transient.
+        transient: bool,
+    },
+    /// A transient actuation failure was retried until success.
+    Retried {
+        /// Attempts including the final successful one.
+        attempts: u32,
+        /// Total backoff charged, milliseconds.
+        backoff_ms: f64,
+    },
+}
+
+/// The layer-tagged payload of one unified event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventBody {
+    /// Layer 1: world fact.
+    World(WorldFact),
+    /// Layer 2: system decision.
+    Decision(Decision),
+    /// Layer 3: operational telemetry (excluded from replay).
+    Telemetry(TelemetryNote),
+}
+
+/// One entry in the unified log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnifiedEvent {
+    /// Monotone sequence number across all layers (the journal's append
+    /// order; recovery appends the durable suffix by `seq`).
+    pub seq: u64,
+    /// Scheduler tick the event was emitted at.
+    pub tick: u64,
+    /// Simulated time, seconds.
+    pub time_s: f64,
+    /// The service concerned (raw id), `None` for machine-wide events.
+    pub app: Option<u64>,
+    /// The layer-tagged payload.
+    pub body: EventBody,
+}
+
+/// The JSONL header line.
+#[derive(Serialize, Deserialize)]
+struct LogHeader {
+    unified_log_version: u32,
+}
+
+/// Errors reading a serialized unified log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnifiedLogError {
+    /// The stream was written by an incompatible format version.
+    VersionMismatch {
+        /// Version found in the header.
+        found: u32,
+        /// Version this build expects.
+        expected: u32,
+    },
+}
+
+impl fmt::Display for UnifiedLogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnifiedLogError::VersionMismatch { found, expected } => {
+                write!(f, "unified log version {found} incompatible with expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UnifiedLogError {}
+
+/// What a tolerant read dropped from a damaged tail.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TailLoss {
+    /// Bytes past the last complete, parseable event line.
+    pub bytes_dropped: usize,
+    /// Damaged (unparseable or out-of-order) lines dropped.
+    pub lines_dropped: usize,
+}
+
+/// The append-only unified event log. Push-only in normal operation; when
+/// a journal file is attached, every event is serialized, appended and
+/// flushed before `push` returns, so at most the final line of the durable
+/// file can be torn by a crash.
+#[derive(Debug, Default)]
+pub struct UnifiedLog {
+    events: Vec<UnifiedEvent>,
+    next_seq: u64,
+    last_time_s: f64,
+    /// Durable mirror; deliberately not cloned (a cloned controller must
+    /// not double-append to the same file) and not serialized.
+    journal: Option<Arc<Mutex<File>>>,
+}
+
+impl Clone for UnifiedLog {
+    fn clone(&self) -> Self {
+        UnifiedLog {
+            events: self.events.clone(),
+            next_seq: self.next_seq,
+            last_time_s: self.last_time_s,
+            journal: None,
+        }
+    }
+}
+
+impl PartialEq for UnifiedLog {
+    fn eq(&self, other: &Self) -> bool {
+        self.events == other.events
+    }
+}
+
+impl Serialize for UnifiedLog {
+    fn to_value(&self) -> serde::Value {
+        self.events.to_value()
+    }
+}
+
+impl Deserialize for UnifiedLog {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Vec::<UnifiedEvent>::from_value(v).map(UnifiedLog::from_events)
+    }
+}
+
+impl UnifiedLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        UnifiedLog::default()
+    }
+
+    /// Rebuilds a log from raw events (seq/time bookkeeping re-derived).
+    pub fn from_events(events: Vec<UnifiedEvent>) -> Self {
+        let next_seq = events.last().map(|e| e.seq + 1).unwrap_or(0);
+        let last_time_s = events.last().map(|e| e.time_s).unwrap_or(0.0);
+        UnifiedLog { events, next_seq, last_time_s, journal: None }
+    }
+
+    /// Appends one event, stamping the next sequence number. Mirrored to
+    /// the attached journal (serialized, appended, flushed) before return.
+    pub fn push(&mut self, tick: u64, time_s: f64, app: Option<u64>, body: EventBody) {
+        let event = UnifiedEvent { seq: self.next_seq, tick, time_s, app, body };
+        self.next_seq += 1;
+        self.last_time_s = time_s;
+        self.mirror(&event);
+        self.events.push(event);
+    }
+
+    /// Appends one event at the last seen timestamp (for emission sites
+    /// with no clock in scope, e.g. ticket cancellation).
+    pub fn push_untimed(&mut self, tick: u64, app: Option<u64>, body: EventBody) {
+        let time_s = self.last_time_s;
+        self.push(tick, time_s, app, body);
+    }
+
+    /// Re-appends an event recovered from the durable journal suffix
+    /// verbatim, **without** mirroring (it is already on disk).
+    pub fn push_restored(&mut self, event: UnifiedEvent) {
+        self.next_seq = self.next_seq.max(event.seq + 1);
+        self.last_time_s = event.time_s;
+        self.events.push(event);
+    }
+
+    fn mirror(&self, event: &UnifiedEvent) {
+        if let Some(journal) = &self.journal {
+            if let Ok(mut file) = journal.lock() {
+                let line = serde_json::to_string(event).expect("unified event serializes");
+                let _ = writeln!(file, "{line}");
+                let _ = file.flush();
+            }
+        }
+    }
+
+    /// Attaches (or replaces) a durable journal at `path`, opened in
+    /// append mode; a fresh/empty file gets the version header first.
+    /// Only events pushed *after* the attach are mirrored.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-open and header-write failures.
+    pub fn attach_journal(&mut self, path: &Path) -> std::io::Result<()> {
+        let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+        if file.metadata()?.len() == 0 {
+            let header =
+                serde_json::to_string(&LogHeader { unified_log_version: UNIFIED_LOG_VERSION })
+                    .expect("header serializes");
+            writeln!(file, "{header}")?;
+            file.flush()?;
+        }
+        self.journal = Some(Arc::new(Mutex::new(file)));
+        Ok(())
+    }
+
+    /// All events in order.
+    pub fn events(&self) -> &[UnifiedEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The sequence number of the most recent event, if any.
+    pub fn last_seq(&self) -> Option<u64> {
+        self.events.last().map(|e| e.seq)
+    }
+
+    /// `(world, decision, telemetry)` event counts.
+    pub fn layer_counts(&self) -> (usize, usize, usize) {
+        let mut counts = (0usize, 0usize, 0usize);
+        for e in &self.events {
+            match e.body {
+                EventBody::World(_) => counts.0 += 1,
+                EventBody::Decision(_) => counts.1 += 1,
+                EventBody::Telemetry(_) => counts.2 += 1,
+            }
+        }
+        counts
+    }
+
+    /// The decision-layer events, in order (the A/B diff stream).
+    pub fn decisions(&self) -> impl Iterator<Item = &UnifiedEvent> {
+        self.events.iter().filter(|e| matches!(e.body, EventBody::Decision(_)))
+    }
+
+    /// The world-fact events, in order.
+    pub fn world_facts(&self) -> impl Iterator<Item = &UnifiedEvent> {
+        self.events.iter().filter(|e| matches!(e.body, EventBody::World(_)))
+    }
+
+    /// A copy with the telemetry layer removed — replaying it must produce
+    /// the identical state (the exclusion invariant).
+    pub fn stripped(&self) -> UnifiedLog {
+        UnifiedLog::from_events(
+            self.events
+                .iter()
+                .filter(|e| !matches!(e.body, EventBody::Telemetry(_)))
+                .cloned()
+                .collect(),
+        )
+    }
+
+    /// Serializes to the versioned JSONL form: one header line, then one
+    /// line per event.
+    pub fn to_jsonl(&self) -> String {
+        let mut out =
+            serde_json::to_string(&LogHeader { unified_log_version: UNIFIED_LOG_VERSION })
+                .expect("header serializes");
+        out.push('\n');
+        for e in &self.events {
+            out.push_str(&serde_json::to_string(e).expect("unified event serializes"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the JSONL form, tolerating a torn tail: reading stops at the
+    /// first damaged (unparseable or sequence-regressing) line and keeps
+    /// every complete event before it. An empty or header-torn stream is
+    /// an empty log, not an error — a crash-damaged journal always yields
+    /// its committed prefix. Only a *parseable header with a foreign
+    /// version* is refused.
+    ///
+    /// # Errors
+    ///
+    /// [`UnifiedLogError::VersionMismatch`] if the header names a version
+    /// this build does not understand.
+    pub fn from_jsonl_tolerant(text: &str) -> Result<(UnifiedLog, TailLoss), UnifiedLogError> {
+        let mut loss = TailLoss::default();
+        let mut lines = text.split_inclusive('\n');
+        let Some(header_line) = lines.next() else {
+            return Ok((UnifiedLog::new(), loss));
+        };
+        let header: LogHeader = match serde_json::from_str(header_line.trim_end()) {
+            Ok(h) => h,
+            Err(_) => {
+                // Torn or absent header: nothing committed yet.
+                loss.bytes_dropped = text.len();
+                loss.lines_dropped = text.lines().count();
+                return Ok((UnifiedLog::new(), loss));
+            }
+        };
+        if header.unified_log_version != UNIFIED_LOG_VERSION {
+            return Err(UnifiedLogError::VersionMismatch {
+                found: header.unified_log_version,
+                expected: UNIFIED_LOG_VERSION,
+            });
+        }
+        let mut events: Vec<UnifiedEvent> = Vec::new();
+        let mut consumed = header_line.len();
+        for line in lines {
+            let parsed: Result<UnifiedEvent, _> = serde_json::from_str(line.trim_end());
+            match parsed {
+                Ok(e) if events.last().map(|p: &UnifiedEvent| e.seq > p.seq).unwrap_or(true) => {
+                    consumed += line.len();
+                    events.push(e);
+                }
+                _ => break,
+            }
+        }
+        loss.bytes_dropped = text.len() - consumed;
+        loss.lines_dropped = text[consumed..].lines().count();
+        Ok((UnifiedLog::from_events(events), loss))
+    }
+
+    /// Replays this log; see [`replay`].
+    ///
+    /// # Errors
+    ///
+    /// See [`replay`].
+    pub fn replay(&self) -> Result<ReplayState, ReplayError> {
+        replay(self.events())
+    }
+}
+
+/// The scheduler state a log reconstructs: what [`replay`] returns and
+/// what `OsmlScheduler::live_replay_state` captures from a live run, so
+/// the two can be compared bit-for-bit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReplayState {
+    /// Ticks executed.
+    pub tick: u64,
+    /// Scheduling actions committed (the paper's overhead accounting).
+    pub actions: usize,
+    /// Live services and their exact allocations, keyed by raw id.
+    pub layouts: BTreeMap<u64, Allocation>,
+    /// The admission queue, in the scheduler's internal order.
+    pub queue: Vec<QueuedEntry>,
+    /// The shed stack (LIFO).
+    pub shed: Vec<ShedEntry>,
+    /// The brownout shave ledger.
+    pub shaved: Vec<ShaveRecord>,
+    /// Tick brownout was entered at, while degraded.
+    pub brownout_since: Option<u64>,
+}
+
+// Manual serde: the layouts map travels as an ordered `(id, allocation)`
+// pair list (the vendored serde shim only maps string-keyed objects).
+impl Serialize for ReplayState {
+    fn to_value(&self) -> serde::Value {
+        let layouts: Vec<(u64, Allocation)> = self.layouts.iter().map(|(&k, v)| (k, *v)).collect();
+        serde::Value::Object(vec![
+            ("tick".into(), self.tick.to_value()),
+            ("actions".into(), self.actions.to_value()),
+            ("layouts".into(), layouts.to_value()),
+            ("queue".into(), self.queue.to_value()),
+            ("shed".into(), self.shed.to_value()),
+            ("shaved".into(), self.shaved.to_value()),
+            ("brownout_since".into(), self.brownout_since.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for ReplayState {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let layouts: Vec<(u64, Allocation)> =
+            Deserialize::from_value(serde::obj_field(v, "layouts")?)?;
+        Ok(ReplayState {
+            tick: Deserialize::from_value(serde::obj_field(v, "tick")?)?,
+            actions: Deserialize::from_value(serde::obj_field(v, "actions")?)?,
+            layouts: layouts.into_iter().collect(),
+            queue: Deserialize::from_value(serde::obj_field(v, "queue")?)?,
+            shed: Deserialize::from_value(serde::obj_field(v, "shed")?)?,
+            shaved: Deserialize::from_value(serde::obj_field(v, "shaved")?)?,
+            brownout_since: Deserialize::from_value(serde::obj_field(v, "brownout_since")?)?,
+        })
+    }
+}
+
+/// A replay-sufficiency violation: the log alone could not reconstruct
+/// state, meaning some mutation site failed to emit its event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayError {
+    /// A decision referenced a service the world facts never launched.
+    UnknownApp {
+        /// Sequence number of the offending event.
+        seq: u64,
+        /// The unknown raw id.
+        app: u64,
+    },
+    /// A per-service event arrived with no service in its envelope.
+    MissingApp {
+        /// Sequence number of the offending event.
+        seq: u64,
+    },
+    /// A queue/shed transition referenced a ticket that holds no seat.
+    MissingTicket {
+        /// Sequence number of the offending event.
+        seq: u64,
+        /// The missing ticket.
+        ticket: u64,
+    },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::UnknownApp { seq, app } => {
+                write!(f, "event seq {seq}: decision for app {app} never launched by a world fact")
+            }
+            ReplayError::MissingApp { seq } => {
+                write!(f, "event seq {seq}: per-service event carries no app id")
+            }
+            ReplayError::MissingTicket { seq, ticket } => {
+                write!(f, "event seq {seq}: ticket {ticket} holds no seat")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// Reconstructs full scheduler state from the world-fact + decision layers
+/// alone (the telemetry layer is ignored by construction). Strict: any
+/// reference to a service or ticket the log cannot account for is an
+/// error, because silence here would mean an emission site rotted.
+///
+/// # Errors
+///
+/// [`ReplayError`] naming the offending event when the log is
+/// insufficient.
+pub fn replay(events: &[UnifiedEvent]) -> Result<ReplayState, ReplayError> {
+    let mut state = ReplayState::default();
+    for ev in events {
+        let app = || ev.app.ok_or(ReplayError::MissingApp { seq: ev.seq });
+        match &ev.body {
+            EventBody::Telemetry(_) => {}
+            EventBody::World(fact) => match fact {
+                WorldFact::Launched { bootstrap, .. } => {
+                    state.layouts.insert(app()?, *bootstrap);
+                }
+                WorldFact::Removed { .. } => {
+                    let id = app()?;
+                    state.layouts.remove(&id);
+                    state.shaved.retain(|s| s.app != id);
+                }
+                WorldFact::TickElapsed => state.tick = ev.tick,
+                WorldFact::ArrivalDue { .. }
+                | WorldFact::DepartureDue { .. }
+                | WorldFact::LoadChanged { .. }
+                | WorldFact::FaultInjected { .. }
+                | WorldFact::ControllerCrashed => {}
+            },
+            EventBody::Decision(decision) => {
+                match decision {
+                    Decision::Alloc { post, counts_as_action, .. } => {
+                        let id = app()?;
+                        if !state.layouts.contains_key(&id) {
+                            return Err(ReplayError::UnknownApp { seq: ev.seq, app: id });
+                        }
+                        state.layouts.insert(id, *post);
+                        if *counts_as_action {
+                            state.actions += 1;
+                        }
+                    }
+                    Decision::Deferred { entry } => state.queue.push(*entry),
+                    Decision::Admitted { ticket, .. }
+                    | Decision::TimedOut { ticket, .. }
+                    | Decision::Evicted { ticket } => {
+                        let pos =
+                            state.queue.iter().position(|e| e.ticket == *ticket).ok_or(
+                                ReplayError::MissingTicket { seq: ev.seq, ticket: *ticket },
+                            )?;
+                        state.queue.remove(pos);
+                    }
+                    Decision::Cancelled { ticket } => {
+                        state.queue.retain(|e| e.ticket != *ticket);
+                        state.shed.retain(|e| e.ticket != *ticket);
+                    }
+                    Decision::Shed { entry } => {
+                        state.shaved.retain(|s| s.app != entry.ticket);
+                        state.shed.push(*entry);
+                    }
+                    Decision::ShedReadmitted { ticket } => {
+                        let pos =
+                            state.shed.iter().rposition(|e| e.ticket == *ticket).ok_or(
+                                ReplayError::MissingTicket { seq: ev.seq, ticket: *ticket },
+                            )?;
+                        state.shed.remove(pos);
+                    }
+                    Decision::Shaved { price, original } => {
+                        let id = app()?;
+                        match state.shaved.iter_mut().find(|s| s.app == id) {
+                            Some(s) => s.priced += price,
+                            None => state.shaved.push(ShaveRecord {
+                                app: id,
+                                original: *original,
+                                priced: *price,
+                            }),
+                        }
+                    }
+                    Decision::ShaveSettled => {
+                        let id = app()?;
+                        state.shaved.retain(|s| s.app != id);
+                    }
+                    Decision::BrownoutEntered { .. } => state.brownout_since = Some(ev.tick),
+                    Decision::BrownoutExited { .. } => state.brownout_since = None,
+                    Decision::Restarted { .. } => {
+                        state.tick = ev.tick;
+                        let layouts = &state.layouts;
+                        state.queue.retain(|e| !layouts.contains_key(&e.ticket));
+                        state.shed.retain(|e| !layouts.contains_key(&e.ticket));
+                        state.shaved.retain(|s| layouts.contains_key(&s.app));
+                    }
+                    Decision::Profiled { .. }
+                    | Decision::Rejected { .. }
+                    | Decision::FallbackEngaged { .. }
+                    | Decision::FallbackRecovered { .. }
+                    | Decision::MigrationRequested
+                    | Decision::TransactionAborted { .. } => {}
+                }
+            }
+        }
+    }
+    Ok(state)
+}
+
+/// The first point where two decision streams disagree.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Divergence {
+    /// Index into the decision-filtered streams (not the raw logs).
+    pub index: usize,
+    /// The expected (first log's) decision event at that index, if any.
+    pub expected: Option<UnifiedEvent>,
+    /// The actual (second log's) decision event at that index, if any.
+    pub got: Option<UnifiedEvent>,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tick = |e: &Option<UnifiedEvent>| {
+            e.as_ref().map(|e| e.tick.to_string()).unwrap_or_else(|| "-".into())
+        };
+        writeln!(
+            f,
+            "first divergence at decision index {} (tick {} vs {}):",
+            self.index,
+            tick(&self.expected),
+            tick(&self.got)
+        )?;
+        writeln!(f, "  expected: {:?}", self.expected)?;
+        write!(f, "  got:      {:?}", self.got)
+    }
+}
+
+/// Diffs the decision layers of two logs element-wise, ignoring sequence
+/// numbers and timestamps (layer interleavings legitimately differ across
+/// configs); the comparison key is `(tick, app, body)`. Returns the first
+/// divergence, or `None` when the streams decide identically.
+pub fn first_divergence(a: &UnifiedLog, b: &UnifiedLog) -> Option<Divergence> {
+    let da: Vec<&UnifiedEvent> = a.decisions().collect();
+    let db: Vec<&UnifiedEvent> = b.decisions().collect();
+    for i in 0..da.len().max(db.len()) {
+        let ea = da.get(i).copied();
+        let eb = db.get(i).copied();
+        let same = match (ea, eb) {
+            (Some(x), Some(y)) => x.tick == y.tick && x.app == y.app && x.body == y.body,
+            (None, None) => true,
+            _ => false,
+        };
+        if !same {
+            return Some(Divergence { index: i, expected: ea.cloned(), got: eb.cloned() });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osml_platform::{CoreSet, MbaThrottle, WayMask};
+    use proptest::prelude::*;
+
+    fn alloc(cores: std::ops::Range<usize>, first_way: usize, ways: usize) -> Allocation {
+        Allocation::new(
+            CoreSet::from_cores(cores),
+            WayMask::contiguous(first_way, ways).unwrap(),
+            MbaThrottle::unthrottled(),
+        )
+    }
+
+    fn sample_log() -> UnifiedLog {
+        let mut log = UnifiedLog::new();
+        log.push(
+            0,
+            0.5,
+            Some(1),
+            EventBody::World(WorldFact::Launched {
+                service: Service::Login,
+                class: SloClass::Degradable,
+                threads: 4,
+                offered_rps: 100.0,
+                bootstrap: alloc(0..2, 0, 2),
+                cause: LaunchCause::Scripted,
+            }),
+        );
+        log.push(
+            0,
+            2.5,
+            Some(1),
+            EventBody::Decision(Decision::Alloc {
+                kind: ActionKind::Place,
+                provenance: Provenance::ModelA,
+                pre: Some(alloc(0..2, 0, 2)),
+                post: alloc(0..4, 0, 6),
+                counts_as_action: true,
+            }),
+        );
+        log.push(1, 3.5, None, EventBody::World(WorldFact::TickElapsed));
+        log.push(
+            1,
+            3.5,
+            Some(1),
+            EventBody::Telemetry(TelemetryNote::Retried { attempts: 2, backoff_ms: 1.0 }),
+        );
+        log
+    }
+
+    #[test]
+    fn replay_reconstructs_layouts_and_counters() {
+        let log = sample_log();
+        let state = log.replay().unwrap();
+        assert_eq!(state.tick, 1);
+        assert_eq!(state.actions, 1);
+        assert_eq!(state.layouts.len(), 1);
+        assert_eq!(state.layouts[&1], alloc(0..4, 0, 6));
+    }
+
+    #[test]
+    fn telemetry_layer_is_excluded_from_replay() {
+        let log = sample_log();
+        assert!(log.layer_counts().2 > 0);
+        assert_eq!(log.replay().unwrap(), log.stripped().replay().unwrap());
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let log = sample_log();
+        let (back, loss) = UnifiedLog::from_jsonl_tolerant(&log.to_jsonl()).unwrap();
+        assert_eq!(loss, TailLoss::default());
+        assert_eq!(back, log);
+    }
+
+    #[test]
+    fn foreign_version_is_refused() {
+        let text = sample_log().to_jsonl().replacen(
+            "{\"unified_log_version\":1}",
+            "{\"unified_log_version\":9}",
+            1,
+        );
+        assert_eq!(
+            UnifiedLog::from_jsonl_tolerant(&text),
+            Err(UnifiedLogError::VersionMismatch { found: 9, expected: 1 })
+        );
+    }
+
+    #[test]
+    fn truncation_at_every_byte_boundary_keeps_the_committed_prefix() {
+        let log = sample_log();
+        let text = log.to_jsonl();
+        // Complete-line offsets -> number of events committed by then.
+        let mut committed_at: Vec<(usize, usize)> = vec![];
+        let mut offset = 0usize;
+        for (i, line) in text.split_inclusive('\n').enumerate() {
+            offset += line.len();
+            committed_at.push((offset, i)); // header is line 0
+        }
+        for cut in 0..=text.len() {
+            let (back, _loss) = UnifiedLog::from_jsonl_tolerant(&text[..cut]).unwrap();
+            // A line torn *after* its JSON but before the newline is still a
+            // complete, durably-committed event — the reader keeps it.
+            let expected =
+                committed_at.iter().filter(|&&(end, _)| end - 1 <= cut).map(|&(_, i)| i).max();
+            let expected_events = expected.unwrap_or(0); // line i complete => i events
+            assert_eq!(
+                back.events().len(),
+                expected_events,
+                "cut at byte {cut}: wrong committed prefix"
+            );
+            assert_eq!(back.events(), &log.events()[..expected_events]);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Random multi-event logs, random cut: the tolerant reader never
+        /// panics, never errors, and always yields an exact event prefix.
+        #[test]
+        fn torn_tail_always_yields_a_prefix(n in 1usize..12, cut_frac in 0.0f64..1.0) {
+            let mut log = UnifiedLog::new();
+            for i in 0..n {
+                log.push(
+                    i as u64,
+                    i as f64,
+                    Some(i as u64),
+                    EventBody::World(WorldFact::Removed { cause: RemovalCause::ScriptedDeparture }),
+                );
+            }
+            let text = log.to_jsonl();
+            let cut = ((text.len() as f64) * cut_frac) as usize;
+            let (back, loss) = UnifiedLog::from_jsonl_tolerant(&text[..cut.min(text.len())]).unwrap();
+            prop_assert_eq!(back.events(), &log.events()[..back.events().len()]);
+            prop_assert_eq!(loss.bytes_dropped + cut - loss.bytes_dropped, cut);
+        }
+    }
+
+    #[test]
+    fn divergence_reports_first_differing_decision() {
+        let a = sample_log();
+        let mut b = sample_log();
+        b.push(2, 4.5, Some(1), EventBody::Decision(Decision::MigrationRequested));
+        let d = first_divergence(&a, &b).expect("streams differ");
+        assert_eq!(d.index, 1);
+        assert!(d.expected.is_none());
+        assert_eq!(d.got.unwrap().tick, 2);
+        assert!(first_divergence(&a, &a).is_none());
+    }
+
+    #[test]
+    fn replay_rejects_orphan_decisions() {
+        let mut log = UnifiedLog::new();
+        log.push(
+            0,
+            0.0,
+            Some(9),
+            EventBody::Decision(Decision::Alloc {
+                kind: ActionKind::Place,
+                provenance: Provenance::ModelA,
+                pre: None,
+                post: alloc(0..1, 0, 1),
+                counts_as_action: true,
+            }),
+        );
+        assert_eq!(log.replay(), Err(ReplayError::UnknownApp { seq: 0, app: 9 }));
+    }
+}

@@ -8,7 +8,22 @@
 //! deliberate overlaps between sharing services) so the free ways form one
 //! contiguous run at the top of the cache.
 
-use osml_platform::{AppId, PlatformError, Substrate, WayMask};
+use osml_platform::{Allocation, AppId, PlatformError, Substrate, WayMask};
+
+/// What a repack did: every mask it reprogrammed (with its pre/post
+/// [`Allocation`], so each silent neighbour move can be logged as a
+/// decision event), plus the error that stopped it early, if any. Moves
+/// already applied before an error stay applied — exactly the substrate
+/// state a caller that ignores the error is left with — so the outcome
+/// reports them either way.
+#[derive(Debug, Clone, Default)]
+pub struct RepackOutcome {
+    /// `(app, pre, post)` for every mask actually reprogrammed, in
+    /// application order.
+    pub moves: Vec<(AppId, Allocation, Allocation)>,
+    /// The reallocation failure that aborted the repack, if any.
+    pub error: Option<PlatformError>,
+}
 
 /// Repacks all way masks so free ways form one contiguous run at the high
 /// end of the LLC. Overlapping masks (deliberate sharing, Algorithm 4) are
@@ -22,20 +37,19 @@ use osml_platform::{AppId, PlatformError, Substrate, WayMask};
 /// Propagates reallocation failures from the substrate (should not occur
 /// for valid repacks).
 pub fn repack_ways<S: Substrate>(server: &mut S) -> Result<usize, PlatformError> {
-    repack_ways_with_last(server, None)
+    let outcome = repack_ways_with_last(server, None);
+    match outcome.error {
+        Some(e) => Err(e),
+        None => Ok(outcome.moves.len()),
+    }
 }
 
 /// Like [`repack_ways`], but places `last`'s overlap group at the high end
 /// of the packed region, adjacent to the free run — so a subsequent
-/// `resized(+n)` growth of `last`'s mask lands on free ways.
-///
-/// # Errors
-///
-/// Propagates reallocation failures from the substrate.
-pub fn repack_ways_with_last<S: Substrate>(
-    server: &mut S,
-    last: Option<AppId>,
-) -> Result<usize, PlatformError> {
+/// `resized(+n)` growth of `last`'s mask lands on free ways. Returns the
+/// full [`RepackOutcome`] rather than a bare count, so callers can emit a
+/// decision event for every neighbour the repack moved.
+pub fn repack_ways_with_last<S: Substrate>(server: &mut S, last: Option<AppId>) -> RepackOutcome {
     let apps = server.apps();
     // Build overlap groups (connected components of mask overlap). Masks
     // are contiguous, so a component occupies a contiguous span.
@@ -87,7 +101,7 @@ pub fn repack_ways_with_last<S: Substrate>(
         }
     }
     // Assign new starts, packed from way 0, and shift members rigidly.
-    let mut reprogrammed = 0;
+    let mut outcome = RepackOutcome::default();
     let mut cursor = 0usize;
     for (start, end, members) in groups {
         let shift = cursor as i64 - start as i64;
@@ -97,15 +111,19 @@ pub fn repack_ways_with_last<S: Substrate>(
                 let new_first = (mask.first() as i64 + shift) as usize;
                 let new_mask = WayMask::contiguous(new_first, mask.count())
                     .expect("shifted mask stays in range");
-                let mut alloc = server.allocation(id).expect("app is placed");
+                let pre = server.allocation(id).expect("app is placed");
+                let mut alloc = pre;
                 alloc.ways = new_mask;
-                server.reallocate(id, alloc)?;
-                reprogrammed += 1;
+                if let Err(e) = server.reallocate(id, alloc) {
+                    outcome.error = Some(e);
+                    return outcome;
+                }
+                outcome.moves.push((id, pre, alloc));
             }
         }
         cursor += end - start;
     }
-    Ok(reprogrammed)
+    outcome
 }
 
 /// Number of ways that would be free and contiguous after a repack: the
@@ -171,7 +189,9 @@ mod tests {
         let mut s = SimServer::deterministic();
         let a = s.launch(LaunchSpec::new(Service::Login, 300.0), alloc(0..2, 0, 5)).unwrap();
         let b = s.launch(LaunchSpec::new(Service::Ads, 100.0), alloc(2..4, 10, 5)).unwrap();
-        repack_ways_with_last(&mut s, Some(a)).unwrap();
+        let outcome = repack_ways_with_last(&mut s, Some(a));
+        assert!(outcome.error.is_none());
+        assert!(!outcome.moves.is_empty(), "repack reports the masks it moved");
         let (fa, _) = ways_of(&s, a);
         let (fb, _) = ways_of(&s, b);
         assert!(fa > fb, "a should now sit after b, adjacent to the free tail");

@@ -37,6 +37,7 @@ mod cluster;
 mod config;
 mod event_queue;
 mod events;
+pub mod golden;
 mod layout;
 mod osml;
 pub mod recovery;
@@ -47,6 +48,10 @@ pub use bootstrap::bootstrap_allocation;
 pub use cluster::{Cluster, ClusterPlacement, ServiceHandle};
 pub use config::{OsmlConfig, OverloadConfig};
 pub use events::{EventKind, EventLog, LogEntry};
-pub use layout::{free_way_run_after_repack, repack_ways};
+pub use golden::{
+    first_divergence, replay, Decision, Divergence, EventBody, LaunchCause, RemovalCause,
+    ReplayError, ReplayState, TelemetryNote, UnifiedEvent, UnifiedLog, WorldFact,
+};
+pub use layout::{free_way_run_after_repack, repack_ways, RepackOutcome};
 pub use osml::{Models, OsmlScheduler};
 pub use recovery::{RecoveryError, RecoveryMode, RecoveryReport, RecoveryStore, SchedulerSnapshot};

@@ -2,6 +2,9 @@ use crate::admission::{OverloadState, QueuedEntry, ShaveRecord, ShedEntry};
 use crate::apptable::AppTable;
 use crate::config::OverloadConfig;
 use crate::event_queue::{TimerEvent, TimerQueue};
+use crate::golden::{
+    Decision, EventBody, ReplayState, TelemetryNote, UnifiedEvent, UnifiedLog, WorldFact,
+};
 use crate::layout::{free_way_run_after_repack, repack_ways_with_last};
 use crate::recovery::{
     AppSnapshot, RecoveryMode, RecoveryReport, RecoveryStore, SchedulerSnapshot,
@@ -161,6 +164,11 @@ pub struct OsmlScheduler {
     /// Overload management: admission queue, shed stack, brownout ledger.
     /// Inert (and cost-free) while `config.overload` is disabled.
     overload: OverloadState,
+    /// The golden-thread unified event log: world facts, system decisions
+    /// and operational telemetry as one typed, replayable stream. Every
+    /// state-mutating site emits here (pinned by the emission-site audit
+    /// test); write-only, so decisions are identical with or without it.
+    unified: UnifiedLog,
 }
 
 ///// Reusable buffers for the event-driven engine: the row-major feature
@@ -268,6 +276,7 @@ impl OsmlScheduler {
             ticks: 0,
             telemetry: Telemetry::disabled(),
             overload: OverloadState::default(),
+            unified: UnifiedLog::new(),
         }
     }
 
@@ -302,6 +311,87 @@ impl OsmlScheduler {
     /// The decision log (Fig. 13/16 source data).
     pub fn log(&self) -> &EventLog {
         &self.log
+    }
+
+    /// The golden-thread unified event log (world facts + decisions +
+    /// telemetry), sufficient for deterministic full-state replay.
+    pub fn unified_log(&self) -> &UnifiedLog {
+        &self.unified
+    }
+
+    /// Records a layer-1 world fact on behalf of the driving harness
+    /// (launches, removals, load changes, scripted arrivals coming due,
+    /// injected faults). The scheduler itself only emits `TickElapsed`
+    /// and `ControllerCrashed`; everything else about the world is the
+    /// harness's to report.
+    pub fn record_world(&mut self, time_s: f64, app: Option<AppId>, fact: WorldFact) {
+        self.unified.push(self.ticks, time_s, app.map(|a| a.0), EventBody::World(fact));
+    }
+
+    /// Attaches a durable journal file to the unified log: every event is
+    /// appended and flushed as it is pushed, giving the torn-tail-tolerant
+    /// write-ahead stream crash recovery replays from.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-open failures.
+    pub fn attach_unified_journal(&mut self, path: &std::path::Path) -> std::io::Result<()> {
+        self.unified.attach_journal(path)
+    }
+
+    /// Captures this scheduler's live state in [`ReplayState`] form (the
+    /// substrate supplies the authoritative layouts), for bit-identity
+    /// comparison against [`crate::golden::replay`] of the unified log.
+    pub fn live_replay_state<S: Substrate>(&self, server: &S) -> ReplayState {
+        let mut layouts = BTreeMap::new();
+        for id in server.apps() {
+            if let Some(alloc) = server.allocation(id) {
+                layouts.insert(id.0, alloc);
+            }
+        }
+        ReplayState {
+            tick: self.ticks,
+            actions: self.actions,
+            layouts,
+            queue: self.overload.queue.clone(),
+            shed: self.overload.shed.clone(),
+            shaved: self.overload.shaved.clone(),
+            brownout_since: self.overload.brownout_since,
+        }
+    }
+
+    /// Emits one layer-2 decision into the unified log.
+    fn decide(&mut self, time_s: f64, app: Option<AppId>, decision: Decision) {
+        self.unified.push(self.ticks, time_s, app.map(|a| a.0), EventBody::Decision(decision));
+    }
+
+    /// Emits a decision at the last seen timestamp (for sites with no
+    /// clock in scope, e.g. ticket cancellation from the driver).
+    fn decide_untimed(&mut self, app: Option<AppId>, decision: Decision) {
+        self.unified.push_untimed(self.ticks, app.map(|a| a.0), EventBody::Decision(decision));
+    }
+
+    /// Emits one layer-3 operational-telemetry note (excluded from replay).
+    fn note(&mut self, time_s: f64, app: Option<AppId>, note: TelemetryNote) {
+        self.unified.push(self.ticks, time_s, app.map(|a| a.0), EventBody::Telemetry(note));
+    }
+
+    /// Logs every neighbour move a repack applied as a layer-2 decision
+    /// (repacks bypass [`Self::apply`], so they need their own emission).
+    fn note_repack(&mut self, now: f64, moves: &[(AppId, Allocation, Allocation)]) {
+        for &(id, pre, post) in moves {
+            self.decide(
+                now,
+                Some(id),
+                Decision::Alloc {
+                    kind: ActionKind::Repack,
+                    provenance: Provenance::Controller,
+                    pre: Some(pre),
+                    post,
+                    counts_as_action: false,
+                },
+            );
+        }
     }
 
     /// Model-A's stored prediction for a service, if it was profiled.
@@ -383,6 +473,17 @@ impl OsmlScheduler {
             Ok(()) => {
                 self.actions += 1;
                 self.emit_trace(server.now(), Some(id), op, pre, Some(alloc), true, None);
+                self.decide(
+                    server.now(),
+                    Some(id),
+                    Decision::Alloc {
+                        kind: op.kind,
+                        provenance: op.provenance,
+                        pre,
+                        post: alloc,
+                        counts_as_action: true,
+                    },
+                );
                 true
             }
             Err(e) => {
@@ -413,9 +514,11 @@ impl OsmlScheduler {
         self.telemetry.counter_add("resilience.persistent_failures", stats.persistent as u64);
         for app in stats.faults {
             self.log.push(now, Some(app), EventKind::FaultInjected { transient: true });
+            self.note(now, Some(app), TelemetryNote::FaultObserved { transient: true });
         }
         for (app, attempts, backoff_ms) in stats.retried {
             self.log.push(now, Some(app), EventKind::ActuationRetried { attempts, backoff_ms });
+            self.note(now, Some(app), TelemetryNote::Retried { attempts, backoff_ms });
             self.telemetry.observe("actuation.retry_backoff_us", backoff_ms * 1e3);
             self.emit_trace(
                 now,
@@ -467,13 +570,26 @@ impl OsmlScheduler {
         }
         let mut restored = 0usize;
         for (id, alloc) in snapshot {
-            if server.allocation(id) != Some(alloc) && server.reallocate(id, alloc).is_ok() {
+            let pre = server.allocation(id);
+            if pre != Some(alloc) && server.reallocate(id, alloc).is_ok() {
                 restored += 1;
+                self.decide(
+                    server.now(),
+                    Some(id),
+                    Decision::Alloc {
+                        kind: ActionKind::Restore,
+                        provenance: Provenance::Controller,
+                        pre,
+                        post: alloc,
+                        counts_as_action: false,
+                    },
+                );
             }
         }
         self.note_faults(server);
         if restored > 0 {
             self.log.push(server.now(), None, EventKind::TransactionAborted { services: restored });
+            self.decide(server.now(), None, Decision::TransactionAborted { services: restored });
             self.emit_trace(
                 server.now(),
                 None,
@@ -505,6 +621,7 @@ impl OsmlScheduler {
             _ => {
                 let now = server.now();
                 self.log.push(now, Some(id), EventKind::FaultInjected { transient: true });
+                self.note(now, Some(id), TelemetryNote::FaultObserved { transient: true });
                 self.last_fault_s = Some(now);
                 self.records.get(&id).and_then(|r| r.last_good)
             }
@@ -750,7 +867,8 @@ impl OsmlScheduler {
                 return false;
             }
             // Pack everyone else to the left, then take the free tail.
-            let _ = repack_ways_with_last(server, None);
+            let repack = repack_ways_with_last(server, None);
+            this.note_repack(server.now(), &repack.moves);
             let Some(mask) = server.find_free_ways(ways, Some(id)) else { return false };
             let mba = server.allocation(id).map(|a| a.mba).unwrap_or_default();
             this.apply(server, id, Allocation::new(core_set, mask, mba), op)
@@ -777,13 +895,26 @@ impl OsmlScheduler {
             let Some(record) = self.records.get(&id) else { continue };
             let share = record.prediction.oaa_bandwidth_gbps() / total;
             let throttle = MbaThrottle::covering_fraction(share.max(0.1));
-            if let Some(mut alloc) = server.allocation(id) {
-                if alloc.mba != throttle {
+            if let Some(pre) = server.allocation(id) {
+                if pre.mba != throttle {
+                    let mut alloc = pre;
                     alloc.mba = throttle;
                     // MBA reprogramming is not an allocation action in the
                     // paper's overhead accounting; apply directly (retried
                     // by the wrapper, surfaced by the note_faults drain).
-                    let _ = server.reallocate(id, alloc);
+                    if server.reallocate(id, alloc).is_ok() {
+                        self.decide(
+                            server.now(),
+                            Some(id),
+                            Decision::Alloc {
+                                kind: ActionKind::BandwidthRepartitioned,
+                                provenance: Provenance::Controller,
+                                pre: Some(pre),
+                                post: alloc,
+                                counts_as_action: false,
+                            },
+                        );
+                    }
                 }
             }
         }
@@ -868,7 +999,11 @@ impl OsmlScheduler {
         let before = self.overload.queue.len() + self.overload.shed.len();
         self.overload.queue.retain(|e| e.ticket != ticket);
         self.overload.shed.retain(|e| e.ticket != ticket);
-        before != self.overload.queue.len() + self.overload.shed.len()
+        let removed = before != self.overload.queue.len() + self.overload.shed.len();
+        if removed {
+            self.decide_untimed(Some(AppId(ticket)), Decision::Cancelled { ticket });
+        }
+        removed
     }
 
     /// Makes a rejection visible: typed event + trace record + counter.
@@ -876,6 +1011,7 @@ impl OsmlScheduler {
     /// changes.
     fn note_rejection(&mut self, now: f64, app: Option<AppId>, reason: RejectReason) {
         self.log.push(now, app, EventKind::Rejected { reason });
+        self.decide(now, app, Decision::Rejected { reason });
         self.emit_trace(
             now,
             app,
@@ -895,6 +1031,7 @@ impl OsmlScheduler {
             let entry = self.overload.queue.remove(pos);
             let waited = self.ticks.saturating_sub(entry.enqueued_tick);
             self.log.push(now, Some(id), EventKind::QueueAdmitted { waited_ticks: waited });
+            self.decide(now, Some(id), Decision::Admitted { ticket, waited_ticks: waited });
             self.emit_trace(
                 now,
                 Some(id),
@@ -907,6 +1044,7 @@ impl OsmlScheduler {
             self.telemetry.counter_add("overload.queue_admitted", 1);
         } else if let Some(pos) = self.overload.shed.iter().rposition(|e| e.ticket == ticket) {
             self.overload.shed.remove(pos);
+            self.decide(now, Some(id), Decision::ShedReadmitted { ticket });
             let (cores, ways) = alloc.map(|a| (a.cores.count(), a.ways.count())).unwrap_or((0, 0));
             self.log.push(now, Some(id), EventKind::Restored { cores, ways });
             self.emit_trace(
@@ -951,7 +1089,9 @@ impl OsmlScheduler {
             match self.overload.eviction_index() {
                 Some(i) if self.overload.queue[i].class.rank() > class.rank() => {
                     let evicted = self.overload.queue.remove(i);
-                    self.note_rejection(now, Some(AppId(evicted.ticket)), RejectReason::QueueFull);
+                    let app = Some(AppId(evicted.ticket));
+                    self.decide(now, app, Decision::Evicted { ticket: evicted.ticket });
+                    self.note_rejection(now, app, RejectReason::QueueFull);
                 }
                 _ => {
                     self.note_rejection(now, Some(id), RejectReason::QueueFull);
@@ -969,14 +1109,16 @@ impl OsmlScheduler {
             .get(&id)
             .map(|r| (r.prediction.rcliff.cores, r.prediction.rcliff.ways))
             .unwrap_or((0, 0));
-        self.overload.queue.push(QueuedEntry {
+        let entry = QueuedEntry {
             ticket: id.0,
             class,
             enqueued_tick: self.ticks,
             seq,
             need_cores,
             need_ways,
-        });
+        };
+        self.overload.queue.push(entry);
+        self.decide(now, Some(id), Decision::Deferred { entry });
         if self.config.event_driven {
             // Arm the waiter's max-wait horizon; the entry's own seq is the
             // tie-break so same-tick timeouts drain in queue order.
@@ -1040,6 +1182,7 @@ impl OsmlScheduler {
                 self.overload.queue.remove(pos);
                 let app = Some(AppId(ticket));
                 self.log.push(now, app, EventKind::QueueTimedOut { waited_ticks: waited });
+                self.decide(now, app, Decision::TimedOut { ticket, waited_ticks: waited });
                 self.note_rejection(now, app, RejectReason::WaitTimeout);
                 self.telemetry.counter_add("overload.timeouts", 1);
             }
@@ -1055,6 +1198,11 @@ impl OsmlScheduler {
                 let waited = ticks.saturating_sub(e.enqueued_tick);
                 let app = Some(AppId(e.ticket));
                 self.log.push(now, app, EventKind::QueueTimedOut { waited_ticks: waited });
+                self.decide(
+                    now,
+                    app,
+                    Decision::TimedOut { ticket: e.ticket, waited_ticks: waited },
+                );
                 self.note_rejection(now, app, RejectReason::WaitTimeout);
                 self.telemetry.counter_add("overload.timeouts", 1);
             }
@@ -1102,6 +1250,7 @@ impl OsmlScheduler {
                 self.overload.brownout_since = Some(self.ticks);
                 let queued = self.overload.queue.len();
                 self.log.push(now, None, EventKind::BrownoutEntered { queued });
+                self.decide(now, None, Decision::BrownoutEntered { queued });
                 self.emit_trace(
                     now,
                     None,
@@ -1155,6 +1304,7 @@ impl OsmlScheduler {
                         None,
                         EventKind::BrownoutExited { ticks_degraded: degraded },
                     );
+                    self.decide(now, None, Decision::BrownoutExited { ticks_degraded: degraded });
                     self.emit_trace(
                         now,
                         None,
@@ -1227,6 +1377,7 @@ impl OsmlScheduler {
             return false;
         }
         self.log.push(server.now(), Some(victim), EventKind::Deprived { cores: dc, ways: dw });
+        self.decide(server.now(), Some(victim), Decision::Shaved { price, original: old });
         match self.overload.shaved.iter_mut().find(|s| s.app == victim.0) {
             Some(s) => s.priced += price,
             None => self.overload.shaved.push(ShaveRecord {
@@ -1280,6 +1431,8 @@ impl OsmlScheduler {
             shed_tick: self.ticks,
         });
         self.overload.pending_shed.push(victim.0);
+        let entry = *self.overload.shed.last().expect("just pushed");
+        self.decide(now, Some(victim), Decision::Shed { entry });
         self.log.push(now, Some(victim), EventKind::Shed);
         self.emit_trace(
             now,
@@ -1300,18 +1453,22 @@ impl OsmlScheduler {
     fn restore_step<S: Substrate>(&mut self, server: &mut Retrying<'_, S>) {
         while let Some(shave) = self.overload.shaved.last().copied() {
             let id = AppId(shave.app);
+            let now = server.now();
             let Some(cur) = server.allocation(id) else {
                 self.overload.shaved.pop();
+                self.decide(now, Some(id), Decision::ShaveSettled);
                 continue;
             };
             if !self.records.contains_key(&id) {
                 self.overload.shaved.pop();
+                self.decide(now, Some(id), Decision::ShaveSettled);
                 continue;
             }
             let want_cores = shave.original.cores.count().max(cur.cores.count());
             let want_ways = shave.original.ways.count().max(cur.ways.count());
             if want_cores == cur.cores.count() && want_ways == cur.ways.count() {
                 self.overload.shaved.pop(); // regrew on its own
+                self.decide(now, Some(id), Decision::ShaveSettled);
                 continue;
             }
             let op = TraceOp::new(ActionKind::Restore, Provenance::Controller);
@@ -1323,6 +1480,7 @@ impl OsmlScheduler {
                 );
                 self.telemetry.counter_add("overload.restores", 1);
                 self.overload.shaved.pop();
+                self.decide(server.now(), Some(id), Decision::ShaveSettled);
             } else {
                 break;
             }
@@ -1347,6 +1505,7 @@ impl OsmlScheduler {
             }
             let now = server.now();
             self.log.push(now, Some(id), EventKind::FaultInjected { transient: true });
+            self.note(now, Some(id), TelemetryNote::FaultObserved { transient: true });
             self.last_fault_s = Some(now);
             server.advance(0.5);
             sample = server.sample(id).filter(CounterSample::is_valid);
@@ -1380,6 +1539,16 @@ impl OsmlScheduler {
             server.now(),
             Some(id),
             EventKind::Profiled {
+                oaa_cores: prediction.oaa.cores,
+                oaa_ways: prediction.oaa.ways,
+                rcliff_cores: prediction.rcliff.cores,
+                rcliff_ways: prediction.rcliff.ways,
+            },
+        );
+        self.decide(
+            server.now(),
+            Some(id),
+            Decision::Profiled {
                 oaa_cores: prediction.oaa.cores,
                 oaa_ways: prediction.oaa.ways,
                 rcliff_cores: prediction.rcliff.cores,
@@ -1748,6 +1917,7 @@ impl OsmlScheduler {
             let already = self.records.get(&id).map(|r| r.migration_requested).unwrap_or(false);
             if !already {
                 self.log.push(server.now(), Some(id), EventKind::MigrationRequested);
+                self.decide(server.now(), Some(id), Decision::MigrationRequested);
                 self.emit_trace(
                     server.now(),
                     Some(id),
@@ -1967,7 +2137,8 @@ impl OsmlScheduler {
                 shared.cores = own.union(server.idle_cores());
                 // Share ways: overlap the neighbour's mask by `need_ways`
                 // (grow toward it after placing our mask adjacent).
-                let _ = repack_ways_with_last(server, Some(neighbor));
+                let repack = repack_ways_with_last(server, Some(neighbor));
+                self.note_repack(server.now(), &repack.moves);
                 let nalloc = server.allocation(neighbor).expect("neighbor is placed");
                 let overlap_first = nalloc.ways.first();
                 let own_ways =
@@ -2002,6 +2173,7 @@ impl OsmlScheduler {
             }
             _ => {
                 self.log.push(server.now(), Some(id), EventKind::MigrationRequested);
+                self.decide(server.now(), Some(id), Decision::MigrationRequested);
                 self.emit_trace(
                     server.now(),
                     Some(id),
@@ -2262,6 +2434,7 @@ impl OsmlScheduler {
                 .map(|(&id, rec)| rec.to_snapshot(server, id, self.ticks))
                 .collect(),
             overload: self.overload.clone(),
+            unified: self.unified.clone(),
         }
     }
 
@@ -2324,16 +2497,41 @@ impl OsmlScheduler {
                 s.persistent_failures = snap.persistent_failures;
                 s.log = snap.log.clone();
                 s.overload = snap.overload.clone();
-                // Journal replay: actions committed after the snapshot was
+                s.unified = snap.unified.clone();
+                // Journal replay: events committed after the snapshot was
                 // taken still count toward the overhead accounting, and the
-                // tick counter must not run backwards.
-                for rec in store.read_journal() {
-                    if rec.tick > snap.ticks {
+                // tick counter must not run backwards. The unified event
+                // journal is authoritative when it holds a suffix beyond the
+                // snapshot (its sequence numbers are exact); the legacy
+                // per-action journal remains the fallback for stores
+                // recorded before the unified log existed.
+                let restored_seq = s.unified.last_seq();
+                let suffix: Vec<UnifiedEvent> = store
+                    .read_unified()
+                    .into_iter()
+                    .filter(|ev| restored_seq.is_none_or(|last| ev.seq > last))
+                    .collect();
+                if suffix.is_empty() {
+                    for rec in store.read_journal() {
+                        if rec.tick > snap.ticks {
+                            report.journal_replayed += 1;
+                            if rec.counts_as_action {
+                                s.actions += 1;
+                            }
+                            s.ticks = s.ticks.max(rec.tick);
+                        }
+                    }
+                } else {
+                    for ev in suffix {
                         report.journal_replayed += 1;
-                        if rec.counts_as_action {
+                        if let EventBody::Decision(Decision::Alloc {
+                            counts_as_action: true, ..
+                        }) = &ev.body
+                        {
                             s.actions += 1;
                         }
-                        s.ticks = s.ticks.max(rec.tick);
+                        s.ticks = s.ticks.max(ev.tick);
+                        s.unified.push_restored(ev);
                     }
                 }
                 s
@@ -2387,6 +2585,28 @@ impl OsmlScheduler {
         scheduler.overload.shed.retain(|e| !live.iter().any(|id| id.0 == e.ticket));
         scheduler.overload.shaved.retain(|s| live.iter().any(|id| id.0 == s.app));
 
+        // Continue the durable unified journal (the restored prefix is
+        // already on disk; only events from here on are mirrored), then
+        // record the restart itself: the crash is a world fact, the
+        // reconciliation outcome a decision. The Restarted decision is
+        // emitted *before* the repair Allocs so the replay fold applies the
+        // restart retains first, exactly as the live path just did.
+        let unified_path = store.unified_path();
+        if unified_path.exists() {
+            let _ = scheduler.attach_unified_journal(&unified_path);
+        }
+        let now = server.now();
+        scheduler.record_world(now, None, WorldFact::ControllerCrashed);
+        scheduler.decide(
+            now,
+            None,
+            Decision::Restarted {
+                warm: cold_reason.is_none(),
+                restored: report.restored,
+                adopted: report.adopted,
+                dropped: report.dropped,
+            },
+        );
         scheduler.repair_layout(server, &mut report);
         scheduler.rebuild_timers();
         scheduler.log.push(
@@ -2459,6 +2679,17 @@ impl OsmlScheduler {
             let repaired = Allocation::new(cores, ways, alloc.mba);
             if repaired != alloc && server.reallocate(id, repaired).is_ok() {
                 report.drift_repaired += 1;
+                self.decide(
+                    server.now(),
+                    Some(id),
+                    Decision::Alloc {
+                        kind: ActionKind::Repair,
+                        provenance: Provenance::Controller,
+                        pre: Some(alloc),
+                        post: repaired,
+                        counts_as_action: false,
+                    },
+                );
                 used = used.union(repaired.cores);
             } else {
                 used = used.union(alloc.cores);
@@ -2518,6 +2749,8 @@ impl Scheduler for OsmlScheduler {
         let server = &mut server;
         self.ticks += 1;
         self.telemetry.counter_add("scheduler.ticks", 1);
+        let tick_now = server.now();
+        self.record_world(tick_now, None, WorldFact::TickElapsed);
         if self.config.event_driven {
             // Timer wheel: only deadlines actually due this tick pop; idle
             // services cost nothing.
@@ -2562,6 +2795,7 @@ impl Scheduler for OsmlScheduler {
                 record.fallback_ok_ticks = 0;
                 let failures = record.failed_ml_actions;
                 self.log.push(now, Some(id), EventKind::FallbackEngaged { failures });
+                self.decide(now, Some(id), Decision::FallbackEngaged { failures });
                 self.emit_trace(
                     now,
                     Some(id),
@@ -2584,6 +2818,7 @@ impl Scheduler for OsmlScheduler {
                         record.fallback_ok_ticks = 0;
                         record.violation_ticks = 0;
                         self.log.push(now, Some(id), EventKind::Recovered { healthy_ticks });
+                        self.decide(now, Some(id), Decision::FallbackRecovered { healthy_ticks });
                         self.emit_trace(
                             now,
                             Some(id),

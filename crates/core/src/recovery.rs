@@ -29,6 +29,7 @@
 //! `OsmlScheduler::recover`; this module is only the durable format.
 
 use crate::admission::OverloadState;
+use crate::golden::{UnifiedEvent, UnifiedLog};
 use crate::{EventLog, OsmlConfig};
 use osml_models::{Action, OaaPrediction};
 use osml_platform::{Allocation, CounterSample, SloClass};
@@ -41,7 +42,7 @@ use std::path::{Path, PathBuf};
 /// Format version written into every snapshot envelope; bumped on breaking
 /// changes to the snapshot schema. A mismatch is surfaced as
 /// [`RecoveryError::VersionMismatch`] and the controller cold-starts.
-pub const SNAPSHOT_VERSION: u32 = 3;
+pub const SNAPSHOT_VERSION: u32 = 4;
 
 /// Durable image of one service's controller state — the serializable
 /// mirror of the scheduler's private per-app record, minus the in-flight
@@ -114,6 +115,11 @@ pub struct SchedulerSnapshot {
     /// Overload-management state (admission queue, shed stack, shave
     /// ledger), so a crash mid-overload warm-restarts mid-overload.
     pub overload: OverloadState,
+    /// The unified golden-thread event log (world facts + decisions +
+    /// telemetry). Restoring it makes deterministic replay span the crash:
+    /// the restored prefix plus post-restart events still folds to the
+    /// recovered controller's state.
+    pub unified: UnifiedLog,
 }
 
 /// The on-disk envelope: `{version, checksum, payload}` where `payload` is
@@ -266,6 +272,12 @@ impl RecoveryStore {
         self.dir.join("journal.jsonl")
     }
 
+    /// Path of the durable unified golden-thread event journal (feed this
+    /// to `OsmlScheduler::attach_unified_journal`).
+    pub fn unified_path(&self) -> PathBuf {
+        self.dir.join("unified.jsonl")
+    }
+
     /// Persists a snapshot crash-atomically (temp file + rename): a kill at
     /// any instant leaves the previous snapshot intact.
     ///
@@ -315,7 +327,23 @@ impl RecoveryStore {
         records
     }
 
-    /// Removes the snapshot and journal (fresh-start; used by harnesses
+    /// Reads the durable unified event journal, oldest first. A missing or
+    /// unreadable file is an empty log; a torn tail (the crash shape the
+    /// per-event flush guarantees) is dropped, keeping the committed
+    /// prefix. A journal written by a foreign `UNIFIED_LOG_VERSION` also
+    /// reads as empty — recovery then falls back to the legacy journal
+    /// rather than replaying events it cannot interpret.
+    pub fn read_unified(&self) -> Vec<UnifiedEvent> {
+        let Ok(text) = std::fs::read_to_string(self.unified_path()) else {
+            return Vec::new();
+        };
+        match UnifiedLog::from_jsonl_tolerant(&text) {
+            Ok((log, _loss)) => log.events().to_vec(),
+            Err(_) => Vec::new(),
+        }
+    }
+
+    /// Removes the snapshot and journals (fresh-start; used by harnesses
     /// between experiments).
     ///
     /// # Errors
@@ -323,7 +351,7 @@ impl RecoveryStore {
     /// [`RecoveryError::Io`] on a removal failure other than the files not
     /// existing.
     pub fn clear(&self) -> Result<(), RecoveryError> {
-        for path in [self.snapshot_path(), self.journal_path()] {
+        for path in [self.snapshot_path(), self.journal_path(), self.unified_path()] {
             match std::fs::remove_file(&path) {
                 Ok(()) => {}
                 Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
@@ -465,6 +493,16 @@ mod tests {
                 }
                 ov
             },
+            unified: {
+                let mut u = UnifiedLog::new();
+                u.push(
+                    ticks,
+                    ticks as f64,
+                    None,
+                    crate::golden::EventBody::World(crate::golden::WorldFact::TickElapsed),
+                );
+                u
+            },
         }
     }
 
@@ -556,10 +594,10 @@ mod tests {
     #[test]
     fn foreign_version_is_rejected() {
         let snap = snapshot_from(1, 1, false);
-        let text = encode_snapshot(&snap).replacen("\"version\":3", "\"version\":99", 1);
+        let text = encode_snapshot(&snap).replacen("\"version\":4", "\"version\":99", 1);
         assert!(matches!(
             decode_snapshot(&text),
-            Err(RecoveryError::VersionMismatch { found: 99, expected: 3 })
+            Err(RecoveryError::VersionMismatch { found: 99, expected: 4 })
         ));
     }
 

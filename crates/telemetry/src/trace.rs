@@ -76,6 +76,10 @@ pub enum ActionKind {
     BrownoutEnter,
     /// The controller exited brownout after restoring shaved services.
     BrownoutExit,
+    /// An LLC way-mask repack slid a neighbour to keep free ways contiguous.
+    Repack,
+    /// Warm-restart reconciliation repaired a drifted or overlapping layout.
+    Repair,
 }
 
 /// An `(ActionKind, Provenance)` pair the instrumented call sites thread to

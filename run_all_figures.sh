@@ -6,8 +6,8 @@ for bin in table1_max_load table3_features fig1_rcliff_heatmap fig2_rcliff_vs_rp
            fig3_oaa_threads fig4_heuristic_trace fig10_colocation3 fig11_colocation4 \
            fig12_colocation_oracle fig13_resource_usage fig14_dynamic_load \
            fig15_emu_overhead fig16_case_study fig17_fault_tolerance \
-           fig18_telemetry fig19_crash_recovery fig20_overload model_accuracy \
-           ablations parallel_speedup; do
+           fig18_telemetry fig19_crash_recovery fig20_overload replay_divergence \
+           model_accuracy ablations parallel_speedup; do
   echo "==================== $bin ===================="
   cargo run -p osml-bench --release --bin "$bin"
 done
