@@ -8,21 +8,24 @@
 //!   bit-for-bit at every sweep level, including the chaos arm;
 //! * stripping the telemetry layer never changes the fold;
 //! * the JSONL encoding round-trips losslessly;
-//! * A/B on one recorded world: the event-driven engine decides
-//!   identically to the scan engine (zero divergence, fault-free), while
+//! * A/B on recorded worlds (the Fig. 20 anchor, deep overload, and a
+//!   chaos run): the event-driven engine decides identically to the scan
+//!   engine — zero divergence, fault streams aligned call-for-call — while
 //!   the `placement_via_models` ablation diverges — and the harness prints
 //!   exactly where;
 //! * the world-fact layer alone reconstructs a script that reproduces the
-//!   decision stream under the same config.
+//!   decision stream under the same config, including piecewise-constant
+//!   step schedules for load-varying workloads.
 //!
 //! `--smoke` runs a two-level sweep (CI).
 
-use osml_bench::overload::overload_script;
+use osml_bench::overload::{overload_script, varying_load_script};
 use osml_bench::replay::{ab_compare, run_recorded, world_script_from_log, RecordedRun};
 use osml_bench::report;
 use osml_bench::suite::{trained_suite, SuiteConfig};
 use osml_core::{first_divergence, Divergence, OsmlConfig, OverloadConfig, UnifiedLog};
 use osml_platform::{FaultPlan, FaultProfile};
+use osml_workloads::loadgen::LoadSchedule;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -138,35 +141,47 @@ fn main() {
         chaos.faults_injected
     );
 
-    // A/B: one recorded world, two controller configs, decision streams
+    // A/B: recorded worlds, two controller configs, decision streams
     // diffed at their first divergence.
     let ab_script = overload_script(chaos_level);
     let mut ab_rows: Vec<Fig21Ab> = Vec::new();
 
-    // Engines must agree (the equivalence suite pins this; here the same
-    // fact falls out of the decision streams).
-    let (a, b, engines) = ab_compare(
-        &template,
-        &ab_script,
-        seed,
-        OverloadConfig::enabled(),
-        FaultPlan::none(),
-        OsmlConfig { event_driven: false, ..OsmlConfig::default() },
-        OsmlConfig { event_driven: true, ..OsmlConfig::default() },
-    );
-    if let Some(d) = &engines {
-        println!("\nUNEXPECTED engine divergence:\n{d}");
+    // Engines must agree on every recorded world the default flip leans on
+    // (the equivalence suite pins this property-wise; here the same fact
+    // falls out of the decision streams): the Fig. 20 anchor at the
+    // co-location frontier, the deep-overload sweep extreme, and a chaos
+    // run where the fault stream must line up call-for-call.
+    let engine_worlds: &[(&str, f64, FaultPlan)] = &[
+        ("fig20 anchor", 1.0, FaultPlan::none()),
+        ("overload", chaos_level, FaultPlan::none()),
+        ("chaos", chaos_level, FaultPlan::new(0xFA_21, FaultProfile::chaos_default())),
+    ];
+    println!();
+    for (world, level, plan) in engine_worlds {
+        let (a, b, engines) = ab_compare(
+            &template,
+            &overload_script(*level),
+            seed,
+            OverloadConfig::enabled(),
+            plan.clone(),
+            OsmlConfig { event_driven: false, ..OsmlConfig::default() },
+            OsmlConfig { event_driven: true, ..OsmlConfig::default() },
+        );
+        if let Some(d) = &engines {
+            println!("UNEXPECTED engine divergence ({world}):\n{d}");
+        }
+        assert!(engines.is_none(), "scan and event-driven engines diverged on the {world} world");
+        println!(
+            "A/B scan vs event-driven ({world}): zero divergence over {} decisions",
+            a.log.decisions().count()
+        );
+        ab_rows.push(Fig21Ab {
+            label: format!("event_driven: off vs on ({world})"),
+            decisions_a: a.log.decisions().count(),
+            decisions_b: b.log.decisions().count(),
+            divergence: engines,
+        });
     }
-    assert!(engines.is_none(), "scan and event-driven engines diverged on one world");
-    println!("\nA/B scan vs event-driven: zero divergence over {} decisions", {
-        a.log.decisions().count()
-    });
-    ab_rows.push(Fig21Ab {
-        label: "event_driven: off vs on".into(),
-        decisions_a: a.log.decisions().count(),
-        decisions_b: b.log.decisions().count(),
-        divergence: engines,
-    });
 
     // The placement ablation must diverge — and the harness names the first
     // decision where the two controllers part ways.
@@ -189,17 +204,25 @@ fn main() {
     });
 
     // World reconstruction: the world-fact layer alone rebuilds a script
-    // that reproduces the decision stream under the same config.
+    // that reproduces the decision stream under the same config — on a
+    // world whose offered load actually moves (ramps, steps, a diurnal
+    // swing), so the rebuilt script must carry piecewise-constant
+    // step schedules, not just launch-time rates.
+    let recon_script = varying_load_script();
     let first = run_recorded(
         &template,
-        &ab_script,
+        &recon_script,
         seed,
         OverloadConfig::enabled(),
         FaultPlan::none(),
         false,
         OsmlConfig::default(),
     );
-    let rebuilt = world_script_from_log(&first.log).expect("constant-load world reconstructs");
+    let rebuilt = world_script_from_log(&first.log).expect("varying-load world reconstructs");
+    assert!(
+        rebuilt.events.iter().any(|e| matches!(e.load, LoadSchedule::Steps { .. })),
+        "reconstruction must carry step schedules for the varying workloads"
+    );
     let second = run_recorded(
         &template,
         &rebuilt,
@@ -214,7 +237,10 @@ fn main() {
         println!("\nUNEXPECTED reconstruction divergence:\n{d}");
     }
     assert!(reconstruction.is_none(), "reconstructed world changed the decision stream");
-    println!("world reconstruction: recorded facts alone reproduce the decision stream");
+    println!(
+        "world reconstruction: recorded facts alone reproduce the decision stream \
+         (varying-load world, step schedules rebuilt)"
+    );
 
     let report_data =
         Fig21Report { smoke, levels: rows, chaos, ab: ab_rows, reconstruction_divergence: None };

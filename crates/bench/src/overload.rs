@@ -79,6 +79,62 @@ pub fn overload_script(level: f64) -> ArrivalScript {
     )
 }
 
+/// A compact load-varying scenario: ramping, stepping and diurnal services
+/// over a 90 s window, with enough pressure for admission churn. Shared by
+/// the replay round-trip test and the `replay_divergence` harness so both
+/// exercise reconstruction of worlds whose offered load actually moves.
+pub fn varying_load_script() -> ArrivalScript {
+    let pct = |s: Service, p: f64| -> f64 { s.params().nominal_max_rps() * p / 100.0 };
+    ArrivalScript::new(
+        vec![
+            ArrivalEvent {
+                service: Service::Moses,
+                arrive_s: 0.0,
+                depart_s: f64::INFINITY,
+                threads: Service::Moses.params().default_threads,
+                load: LoadSchedule::Ramp {
+                    start_s: 10.0,
+                    end_s: 50.0,
+                    from_rps: pct(Service::Moses, 15.0),
+                    to_rps: pct(Service::Moses, 45.0),
+                },
+            },
+            ArrivalEvent {
+                service: Service::ImgDnn,
+                arrive_s: 2.0,
+                depart_s: f64::INFINITY,
+                threads: Service::ImgDnn.params().default_threads,
+                load: LoadSchedule::Steps {
+                    steps: vec![
+                        (0.0, pct(Service::ImgDnn, 20.0)),
+                        (30.0, pct(Service::ImgDnn, 40.0)),
+                        (60.0, pct(Service::ImgDnn, 10.0)),
+                    ],
+                },
+            },
+            ArrivalEvent {
+                service: Service::Xapian,
+                arrive_s: 5.0,
+                depart_s: 80.0,
+                threads: Service::Xapian.params().default_threads,
+                load: LoadSchedule::Diurnal {
+                    base_rps: pct(Service::Xapian, 25.0),
+                    amplitude_rps: pct(Service::Xapian, 12.0),
+                    period_s: 40.0,
+                },
+            },
+            ArrivalEvent {
+                service: Service::Ads,
+                arrive_s: 20.0,
+                depart_s: 70.0,
+                threads: Service::Ads.params().default_threads,
+                load: LoadSchedule::Constant { rps: pct(Service::Ads, 25.0) },
+            },
+        ],
+        90.0,
+    )
+}
+
 /// Where one scripted arrival ended up when the run finished.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ArrivalFate {

@@ -174,6 +174,7 @@ pub fn run_recorded(
             slots[idx] = launch_and_submit(
                 &mut scheduler,
                 &mut server,
+                idx as u64,
                 event.service,
                 event.threads,
                 rps,
@@ -227,6 +228,7 @@ pub fn run_recorded(
             slots[idx] = launch_and_submit(
                 &mut scheduler,
                 &mut server,
+                idx as u64,
                 event.service,
                 event.threads,
                 rps,
@@ -279,9 +281,11 @@ pub fn run_recorded(
 /// [`WorldFact::Launched`] fact, submits it to the scheduler, and applies
 /// the driver's fixed withdrawal policy to the placement outcome
 /// (recording the matching [`WorldFact::Removed`] when it withdraws).
+#[allow(clippy::too_many_arguments)]
 fn launch_and_submit(
     scheduler: &mut OsmlScheduler,
     server: &mut FaultySubstrate<SimServer>,
+    workload: u64,
     service: osml_workloads::Service,
     threads: usize,
     offered_rps: f64,
@@ -295,7 +299,15 @@ fn launch_and_submit(
     scheduler.record_world(
         t,
         Some(id),
-        WorldFact::Launched { service, class, threads, offered_rps, bootstrap: alloc, cause },
+        WorldFact::Launched {
+            workload,
+            service,
+            class,
+            threads,
+            offered_rps,
+            bootstrap: alloc,
+            cause,
+        },
     );
     match scheduler.on_arrival_classed(server, id, class) {
         Placement::Placed => Slot::Live(id),
@@ -326,15 +338,34 @@ fn launch_and_submit(
 /// world-fact layer alone: each [`WorldFact::ArrivalDue`] becomes an
 /// arrival at its recorded due time, each [`WorldFact::DepartureDue`] sets
 /// that workload's departure; a workload with no departure fact runs
-/// forever. Only constant-load worlds are reconstructible — a recorded
-/// [`WorldFact::LoadChanged`] is an error.
+/// forever.
+///
+/// Load-varying worlds reconstruct too: every recorded load witness — the
+/// arrival's offered rate, each (re)launch's rate ([`WorldFact::Launched`]
+/// binds the envelope's app id to its workload, and a retry launch
+/// witnesses the schedule while the workload was waiting), and each
+/// [`WorldFact::LoadChanged`] — becomes a step of a piecewise-constant
+/// [`LoadSchedule::Steps`]. The driver only evaluates schedules at recorded
+/// event times and only records *changes*, so replaying the step schedule
+/// reproduces the original rate at every query time: between witnesses the
+/// recorded world's rate was constant by construction. A workload whose
+/// only witness is its arrival keeps the plain
+/// [`LoadSchedule::Constant`].
 ///
 /// # Errors
 ///
 /// A human-readable reason when the log cannot be turned back into a
-/// script (load changes present, or a departure for an unknown workload).
+/// script (a departure or load change for an unknown workload, no tick
+/// heartbeats).
 pub fn world_script_from_log(log: &UnifiedLog) -> Result<ArrivalScript, String> {
     let mut arrivals: Vec<(u64, ArrivalEvent)> = Vec::new();
+    // Per-workload load witnesses `(time_s, rps)`, in log order.
+    let mut loads: std::collections::BTreeMap<u64, Vec<(f64, f64)>> =
+        std::collections::BTreeMap::new();
+    // Envelope app id -> workload, from Launched facts (a workload can
+    // launch more than once across retries; each launch gets a fresh id).
+    let mut app_to_workload: std::collections::BTreeMap<u64, u64> =
+        std::collections::BTreeMap::new();
     // The driver loop runs `while t <= duration`; to make a re-run execute
     // exactly as many ticks as the recording, the duration must sit between
     // the loop's last entry time and its exit time. The tick heartbeats
@@ -355,6 +386,7 @@ pub fn world_script_from_log(log: &UnifiedLog) -> Result<ArrivalScript, String> 
                         load: LoadSchedule::Constant { rps: *offered_rps },
                     },
                 ));
+                loads.entry(*workload).or_default().push((ev.time_s, *offered_rps));
             }
             WorldFact::DepartureDue { workload } => {
                 let slot = arrivals
@@ -363,8 +395,19 @@ pub fn world_script_from_log(log: &UnifiedLog) -> Result<ArrivalScript, String> 
                     .ok_or_else(|| format!("departure for unknown workload {workload}"))?;
                 slot.1.depart_s = ev.time_s;
             }
-            WorldFact::LoadChanged { .. } => {
-                return Err("load-varying worlds are not reconstructible from the log".into());
+            WorldFact::Launched { workload, offered_rps, .. } => {
+                if let Some(app) = ev.app {
+                    app_to_workload.insert(app, *workload);
+                }
+                loads.entry(*workload).or_default().push((ev.time_s, *offered_rps));
+            }
+            WorldFact::LoadChanged { offered_rps } => {
+                let app =
+                    ev.app.ok_or_else(|| format!("load change without an app (seq {})", ev.seq))?;
+                let workload = *app_to_workload
+                    .get(&app)
+                    .ok_or_else(|| format!("load change for unknown app#{app}"))?;
+                loads.entry(workload).or_default().push((ev.time_s, *offered_rps));
             }
             WorldFact::TickElapsed => tick_times.push(ev.time_s),
             _ => {}
@@ -376,6 +419,24 @@ pub fn world_script_from_log(log: &UnifiedLog) -> Result<ArrivalScript, String> 
         n => tick_times[n - 2],
     };
     arrivals.sort_by_key(|&(w, _)| w);
+    for (w, event) in arrivals.iter_mut() {
+        let Some(points) = loads.get(w) else { continue };
+        // Collapse witnesses to one step per time (last in log order wins;
+        // an arrival and its launch at the same instant agree anyway).
+        let mut steps: Vec<(f64, f64)> = Vec::with_capacity(points.len());
+        for &(at, rps) in points {
+            match steps.iter_mut().find(|(t, _)| *t == at) {
+                Some(step) => step.1 = rps,
+                None => steps.push((at, rps)),
+            }
+        }
+        steps.sort_by(|a, b| a.0.total_cmp(&b.0));
+        // A consecutive repeat of the in-effect rate adds nothing.
+        steps.dedup_by(|next, prev| next.1 == prev.1);
+        if steps.len() > 1 {
+            event.load = LoadSchedule::Steps { steps };
+        }
+    }
     Ok(ArrivalScript::new(arrivals.into_iter().map(|(_, e)| e).collect(), duration))
 }
 
@@ -401,8 +462,9 @@ pub fn ab_compare(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::overload::overload_script;
+    use crate::overload::{overload_script, varying_load_script};
     use crate::suite::{trained_suite, SuiteConfig};
+    use osml_platform::FaultProfile;
 
     #[test]
     fn recorded_run_replays_to_live_state() {
@@ -424,6 +486,36 @@ mod tests {
         assert!(decisions > 0, "decisions recorded");
     }
 
+    /// The scan-vs-event A/B that gated the default-engine flip: on a
+    /// recorded Fig. 20-anchor world — fault-free and under a chaos plan —
+    /// the two engines must produce identical decision streams. The chaos
+    /// arm additionally pins fault-stream alignment: the event engine's
+    /// speculative reads go through `peek_sample`, so per-call fault
+    /// injection lands on the same calls in both engines.
+    #[test]
+    fn scan_and_event_engines_decide_identically_on_recorded_worlds() {
+        let template = trained_suite(SuiteConfig::Standard);
+        let script = overload_script(1.0);
+        for (world, plan) in [
+            ("fault-free", FaultPlan::none()),
+            ("chaos", FaultPlan::new(0xAB, FaultProfile::chaos_default())),
+        ] {
+            let (_, _, divergence) = ab_compare(
+                &template,
+                &script,
+                9,
+                OverloadConfig::enabled(),
+                plan,
+                OsmlConfig { event_driven: false, ..OsmlConfig::default() },
+                OsmlConfig { event_driven: true, ..OsmlConfig::default() },
+            );
+            assert_eq!(
+                divergence, None,
+                "scan and event engines diverged on the {world} fig20-anchor world"
+            );
+        }
+    }
+
     #[test]
     fn reconstructed_script_reproduces_the_decision_stream() {
         let template = trained_suite(SuiteConfig::Standard);
@@ -437,7 +529,7 @@ mod tests {
             false,
             OsmlConfig::default(),
         );
-        let rebuilt = world_script_from_log(&first.log).expect("constant-load world");
+        let rebuilt = world_script_from_log(&first.log).expect("world reconstructs");
         let second = run_recorded(
             &template,
             &rebuilt,
@@ -451,6 +543,56 @@ mod tests {
             first_divergence(&first.log, &second.log),
             None,
             "same world + same config must decide identically"
+        );
+    }
+
+    /// A load-varying world (ramps, steps, a diurnal swing) round-trips
+    /// through the log: the reconstructed piecewise-constant script re-runs
+    /// to an identical decision stream, load changes included.
+    #[test]
+    fn varying_load_world_round_trips_through_the_log() {
+        let template = trained_suite(SuiteConfig::Standard);
+        let script = varying_load_script();
+        assert!(
+            script.events.iter().any(|e| !matches!(e.load, LoadSchedule::Constant { .. })),
+            "the scenario must actually vary its load"
+        );
+        let first = run_recorded(
+            &template,
+            &script,
+            17,
+            OverloadConfig::enabled(),
+            FaultPlan::none(),
+            false,
+            OsmlConfig::default(),
+        );
+        let load_changes = first
+            .log
+            .events()
+            .iter()
+            .filter(|ev| {
+                matches!(ev.body, osml_core::EventBody::World(WorldFact::LoadChanged { .. }))
+            })
+            .count();
+        assert!(load_changes > 0, "the recording must contain load-change facts");
+        let rebuilt = world_script_from_log(&first.log).expect("varying-load world reconstructs");
+        assert!(
+            rebuilt.events.iter().any(|e| matches!(e.load, LoadSchedule::Steps { .. })),
+            "reconstruction must produce step schedules for the varying workloads"
+        );
+        let second = run_recorded(
+            &template,
+            &rebuilt,
+            17,
+            OverloadConfig::enabled(),
+            FaultPlan::none(),
+            false,
+            OsmlConfig::default(),
+        );
+        assert_eq!(
+            first_divergence(&first.log, &second.log),
+            None,
+            "a reconstructed varying-load world must decide identically"
         );
     }
 }

@@ -92,6 +92,11 @@ pub enum WorldFact {
     },
     /// The driver launched a process with its bootstrap allocation.
     Launched {
+        /// Stable identity of the scripted workload (script index) this
+        /// process realizes. Binds the envelope's app id to its workload so
+        /// later per-app facts (load changes) can be attributed when
+        /// reconstructing the world script from the log.
+        workload: u64,
         /// The service.
         service: Service,
         /// SLO class.
@@ -858,6 +863,7 @@ mod tests {
             0.5,
             Some(1),
             EventBody::World(WorldFact::Launched {
+                workload: 0,
                 service: Service::Login,
                 class: SloClass::Degradable,
                 threads: 4,

@@ -13,13 +13,15 @@ use crate::resilience::Retrying;
 use crate::{EventKind, EventLog, OsmlConfig};
 use osml_ml::Matrix;
 use osml_models::features::{
-    write_base_features, write_model_b_input, write_model_b_prime_input, BASE_FEATURES,
-    MODEL_B_INPUTS, MODEL_B_PRIME_INPUTS,
+    write_base_features, write_model_b_input, write_model_b_prime_input, write_model_c_state,
+    BASE_FEATURES, MODEL_B_INPUTS, MODEL_B_PRIME_INPUTS, MODEL_C_STATE,
 };
-use osml_models::{Action, BPoints, ModelA, ModelB, ModelBPrime, ModelC, OaaPrediction};
+use osml_models::{
+    best_action_from_q, Action, BPoints, ModelA, ModelB, ModelBPrime, ModelC, OaaPrediction,
+};
 use osml_platform::{
-    Allocation, AppId, CoreSet, CounterSample, MbaThrottle, Placement, RejectReason, Scheduler,
-    SloClass, Substrate, WayMask,
+    Allocation, AppId, CoreSet, CounterSample, LatencyStats, MbaThrottle, Placement, RejectReason,
+    Scheduler, SloClass, Substrate, WayMask,
 };
 use osml_telemetry::{ActionKind, AllocSnapshot, Provenance, Telemetry, TraceOp, TraceRecord};
 use osml_workloads::oaa::AllocPoint;
@@ -43,6 +45,14 @@ const GROWTH_IMPROVEMENT_FACTOR: f64 = 0.90;
 /// keeping headroom so trace noise around the exact boundary does not cause
 /// perpetual churn.
 const QOS_GUARD: f64 = 0.95;
+
+/// Fleet size below which the event engine skips the batched inference
+/// pre-passes and lets the per-service loop use its (bit-identical) scalar
+/// paths. Below this point the gather/reset/decode overhead of a fused
+/// forward pass exceeds the matmul savings — the small-fleet regression the
+/// 10-service bench point exposed — while the timer wheel and dirty-set
+/// memo still apply.
+const BATCH_FLEET_MIN: usize = 32;
 
 /// Whether the controller considers a service in violation (with guard
 /// headroom; see [`QOS_GUARD`]).
@@ -102,6 +112,25 @@ struct AppRecord {
     /// SLO class the service was admitted with (drives overload policy:
     /// queue priority, brownout shave ceiling, shed eligibility).
     class: SloClass,
+    /// Dirty-set probe memo (event mode only; always `None` in scan mode).
+    /// Holds the exact observation triple the last *quiescent* probe ran on.
+    /// While a service's counters, latency and layout are all unchanged, the
+    /// full probe body is a provable no-op — the Model-A refresh would
+    /// recompute the identical prediction and Algorithm 3 would take the
+    /// identical early return — so the tick loop skips it. Any mismatch (or
+    /// any action, violation, fallback or timer activity) drops the memo and
+    /// the service is probed in full. Not serialized: a recovered scheduler
+    /// re-probes everything.
+    probe_memo: Option<ProbeMemo>,
+}
+
+/// The observation triple a quiescent probe is keyed on (see
+/// [`AppRecord::probe_memo`]).
+#[derive(Debug, Clone, PartialEq)]
+struct ProbeMemo {
+    sample: CounterSample,
+    lat: LatencyStats,
+    alloc: Allocation,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -206,6 +235,21 @@ struct BatchScratch {
     /// expires them at (the queue is only mutated between ticks and there,
     /// so deferring the events is safe).
     due_queue_deadlines: Vec<u64>,
+    /// Model-C gather selection: `(gather_row, ids_position)` pairs for the
+    /// services whose probe may consult Model-C this tick.
+    c_rows: Vec<(usize, usize)>,
+    /// Batched Model-C Q-rows, *owned* (not the ping-pong scratch): the
+    /// per-service loop reads cached rows while Algorithm 4's Model-B′ batch
+    /// reuses `inputs`/`s1`/`s2` mid-loop.
+    c_q: Matrix,
+    /// Per-position Model-C cache: `(row in c_q, sample the row was computed
+    /// from)`. A consult site uses the row only when the service's live
+    /// sample still equals the gathered one *and* the policy weights have
+    /// not changed since the gather (`c_revision`); otherwise it falls back
+    /// to the scalar path, which is bit-identical by construction.
+    c_by_pos: Vec<Option<(usize, CounterSample)>>,
+    /// `ModelC::revision` at gather time.
+    c_revision: u64,
 }
 
 impl Default for BatchScratch {
@@ -221,6 +265,10 @@ impl Default for BatchScratch {
             b_points: Vec::new(),
             prices: Vec::new(),
             due_queue_deadlines: Vec::new(),
+            c_rows: Vec::new(),
+            c_q: Matrix::zeros(0, 0),
+            c_by_pos: Vec::new(),
+            c_revision: 0,
         }
     }
 }
@@ -709,7 +757,13 @@ impl OsmlScheduler {
     fn rebuild_timers(&mut self) {
         self.timers.clear();
         self.scratch.pred_by_pos.clear();
+        self.scratch.c_by_pos.clear();
         self.scratch.due_queue_deadlines.clear();
+        // Probe memos key on observations from the previous regime; a
+        // recovery or config swap invalidates all of them.
+        for rec in self.records.values_mut() {
+            rec.probe_memo = None;
+        }
         if !self.config.event_driven {
             return;
         }
@@ -745,11 +799,15 @@ impl OsmlScheduler {
                         if rec.cooldown_until != 0 && rec.cooldown_until <= now {
                             rec.cooldown_until = 0;
                         }
+                        // Timer state moved: re-probe in full (defensive — a
+                        // memo can only exist with no cooldown armed).
+                        rec.probe_memo = None;
                     }
                 }
                 TimerEvent::BlockedExpiry(id) => {
                     if let Some(rec) = self.records.get_mut(&id) {
                         rec.blocked.retain(|&(_, until)| until > now);
+                        rec.probe_memo = None;
                     }
                 }
                 TimerEvent::QueueDeadline { ticket } => {
@@ -767,12 +825,14 @@ impl OsmlScheduler {
     /// settles moments before the refresh). The decode path is shared with
     /// the scalar predict, so batched and scalar results are bit-identical.
     ///
-    /// The gather reads `server.sample` directly — a pure window-cached
-    /// read on deterministic substrates; the authoritative `fresh_sample`
-    /// call with its fault logging and `last_good` update still happens in
-    /// the loop body. (On chaos substrates with per-call fault streams the
-    /// extra reads shift the stream, which is why `event_driven` defaults
-    /// to off; see [`OsmlConfig::event_driven`].)
+    /// The gather reads [`Substrate::peek_sample`] — a side-effect-free read
+    /// that leaves fault-injection decision streams untouched, so the
+    /// faultable call sequence (`reallocate`/`sample`) is identical to the
+    /// scan engine's. The authoritative `fresh_sample` call with its fault
+    /// logging and `last_good` update still happens in the loop body.
+    /// Services whose memoized quiescent probe still matches the peeked
+    /// window are skipped outright — their prediction will not be refreshed
+    /// this tick (see [`AppRecord::probe_memo`]).
     fn batch_model_a_refresh<S: Substrate>(&mut self, server: &Retrying<'_, S>, ids: &[AppId]) {
         self.scratch.pred_by_pos.clear();
         self.scratch.pred_by_pos.resize(ids.len(), None);
@@ -783,10 +843,14 @@ impl OsmlScheduler {
             if rec.fallback || rec.pending.is_some() {
                 continue;
             }
-            let Some(sample) = server.sample(id).filter(CounterSample::is_valid).or(rec.last_good)
+            let Some(sample) =
+                server.peek_sample(id).filter(CounterSample::is_valid).or(rec.last_good)
             else {
                 continue;
             };
+            if rec.probe_memo.as_ref().is_some_and(|m| m.sample == sample) {
+                continue; // likely memo hit: the loop will skip the refresh
+            }
             self.scratch.rows.push(pos);
             self.scratch.samples.push(sample);
         }
@@ -811,6 +875,103 @@ impl OsmlScheduler {
         for (i, &pos) in scratch.rows.iter().enumerate() {
             scratch.pred_by_pos[pos] = Some((scratch.preds[i], scratch.samples[i]));
         }
+    }
+
+    /// Event-mode Model-C pre-pass, run right after the Model-A gather (it
+    /// reuses the gathered rows/samples): selects the services whose probe
+    /// may consult Model-C this tick — a guarded QoS violation heading into
+    /// Algorithm 2, or a reclaimable surplus heading into Algorithm 3 — and
+    /// computes their 49-action Q-rows in one fused forward pass. The rows
+    /// land in the *owned* `c_q` matrix (`inputs`/`s1`/`s2` are reused by
+    /// Algorithm 4's Model-B′ batch mid-loop) and are consumed by
+    /// [`Self::model_c_action_where`], which falls back to the scalar path
+    /// whenever the live sample or the policy weights moved since the
+    /// gather. Selection only steers efficiency: an extra row is unused, a
+    /// missed one is computed scalar; decisions are unaffected either way.
+    /// Eligibility is judged from record fields and the gathered samples
+    /// alone — no substrate queries — so the pre-pass stays O(fleet) cheap:
+    /// a running violation streak predicts the Algorithm 2 consult, and the
+    /// sample's own `allocated_cores`/`allocated_ways` stand in for the
+    /// layout in the Algorithm 3 surplus test.
+    fn batch_model_c_prepass(&mut self, ids: &[AppId]) {
+        self.scratch.c_by_pos.clear();
+        self.scratch.c_by_pos.resize(ids.len(), None);
+        self.scratch.c_rows.clear();
+        self.scratch.c_revision = self.models.model_c.revision();
+        let margin = self.config.surplus_margin;
+        for (i, &pos) in self.scratch.rows.iter().enumerate() {
+            let id = ids[pos];
+            let Some(rec) = self.records.get(&id) else { continue };
+            let sample = &self.scratch.samples[i];
+            let eligible = if rec.violation_ticks > 0 {
+                true // an ongoing streak predicts Algorithm 2's consult
+            } else if rec.cooldown_until > self.ticks {
+                false // Algorithm 3 returns before its Model-C consult
+            } else {
+                let floor_quiet = rec.reclaim_floor.is_some_and(|(fc, fw, cpu)| {
+                    (sample.cpu_usage - cpu).abs() <= 0.15 * cpu.max(0.5)
+                        && sample.allocated_cores <= fc
+                        && sample.allocated_ways <= fw
+                });
+                // The surplus test mirrors Algorithm 3 against the cliff the
+                // loop will actually hold: the batched refresh result.
+                let cliff = self
+                    .scratch
+                    .pred_by_pos
+                    .get(pos)
+                    .and_then(|p| p.as_ref())
+                    .map(|&(pred, _)| pred)
+                    .unwrap_or(rec.prediction)
+                    .rcliff;
+                !floor_quiet
+                    && (sample.allocated_cores > cliff.cores + margin
+                        || sample.allocated_ways > cliff.ways + margin)
+            };
+            if eligible {
+                self.scratch.c_rows.push((i, pos));
+            }
+        }
+        if self.scratch.c_rows.is_empty() {
+            return;
+        }
+        let BatchScratch { inputs, s1, s2, samples, c_rows, c_q, c_by_pos, .. } = &mut self.scratch;
+        inputs.reset(c_rows.len(), MODEL_C_STATE);
+        for (r, &(i, _)) in c_rows.iter().enumerate() {
+            write_model_c_state(&samples[i], inputs.row_mut(r));
+        }
+        let q = {
+            let _span = self.telemetry.span("model.c.batch_us");
+            self.models.model_c.q_values_batch_into(inputs, s1, s2)
+        };
+        c_q.reset(q.rows(), q.cols());
+        for r in 0..q.rows() {
+            c_q.row_mut(r).copy_from_slice(q.row(r));
+        }
+        for (r, &(i, pos)) in c_rows.iter().enumerate() {
+            c_by_pos[pos] = Some((r, samples[i]));
+        }
+    }
+
+    /// Model-C action selection for the service at `pos`: uses the batched
+    /// Q-row from [`Self::batch_model_c_prepass`] when it is still valid
+    /// (same sample, same policy revision), else the scalar forward pass.
+    /// Both decode through [`best_action_from_q`], so the choice of path
+    /// never changes the action. Counted as one decision per consult — the
+    /// same accounting as the scalar engine.
+    fn model_c_action_where(
+        &self,
+        pos: usize,
+        sample: &CounterSample,
+        eligible: impl FnMut(Action) -> bool,
+    ) -> Option<Action> {
+        let _span = self.telemetry.span("model.c.infer_us");
+        self.decisions.add(1);
+        if let Some(Some((row, gathered))) = self.scratch.c_by_pos.get(pos) {
+            if gathered == sample && self.scratch.c_revision == self.models.model_c.revision() {
+                return best_action_from_q(self.scratch.c_q.row(*row), eligible);
+            }
+        }
+        self.models.model_c.best_action_where(sample, eligible)
     }
 
     /// Whether placement paths enforce strict overlap hygiene: whenever a
@@ -1533,6 +1694,7 @@ impl OsmlScheduler {
                 fallback: false,
                 fallback_ok_ticks: 0,
                 class: SloClass::default(),
+                probe_memo: None,
             },
         );
         self.log.push(
@@ -1792,6 +1954,7 @@ impl OsmlScheduler {
     fn algorithm_2<S: Substrate>(
         &mut self,
         server: &mut Retrying<'_, S>,
+        pos: usize,
         id: AppId,
         sample: CounterSample,
     ) {
@@ -1824,11 +1987,7 @@ impl OsmlScheduler {
                     <= free_ways;
             cores_ok && ways_ok
         };
-        let chosen = {
-            let _span = self.telemetry.span("model.c.infer_us");
-            self.decisions.add(1);
-            self.models.model_c.best_action_where(&sample, achievable)
-        };
+        let chosen = self.model_c_action_where(pos, &sample, achievable);
         let grow = TraceOp::new(ActionKind::Grant, Provenance::ModelC);
         if let Some(action) = chosen {
             let want_cores = alloc.cores.count() + action.dcores as usize;
@@ -1856,16 +2015,11 @@ impl OsmlScheduler {
         // what it wants, then try to free it from neighbours through
         // Model-B (the controller "enables the ML models" on violation,
         // §VI-D-3), and finally consider sharing (Algorithm 4).
-        let wanted = {
-            let _span = self.telemetry.span("model.c.infer_us");
-            self.decisions.add(1);
-            self.models
-                .model_c
-                .best_action_where(&sample, |a| {
-                    a.dcores >= 0 && a.dways >= 0 && a != Action::noop()
-                })
-                .unwrap_or(Action { dcores: 1, dways: 1 })
-        };
+        let wanted = self
+            .model_c_action_where(pos, &sample, |a| {
+                a.dcores >= 0 && a.dways >= 0 && a != Action::noop()
+            })
+            .unwrap_or(Action { dcores: 1, dways: 1 });
         // If neighbours cannot fund Model-C's preferred step, fall back to
         // smaller ones — a single core or way still beats stalling.
         let ladder = [
@@ -1938,25 +2092,35 @@ impl OsmlScheduler {
     // Algorithm 3: surplus -> Model-C reclamation (with rollback)
     // ------------------------------------------------------------------
 
+    /// Returns `Some(held allocation)` when the probe was *quiescent*:
+    /// every early return whose outcome is a pure function of the
+    /// `(sample, latency, allocation)` observation — the proven-floor hold
+    /// and the no-surplus check — with no cooldown pending and no state
+    /// mutated. A quiescent return is what the event engine's dirty-set
+    /// memo caches: repeating the probe on the identical observation
+    /// provably repeats the return, and handing back the allocation this
+    /// probe already fetched lets the memo key on it without a second
+    /// substrate query. Cooldown waits, floor clears, and every action
+    /// path return `None`.
     fn algorithm_3<S: Substrate>(
         &mut self,
         server: &mut Retrying<'_, S>,
+        pos: usize,
         id: AppId,
         sample: CounterSample,
-    ) {
-        let Some(record) = self.records.get(&id) else { return };
+    ) -> Option<Allocation> {
+        let record = self.records.get(&id)?;
         if record.cooldown_until > self.ticks {
-            return;
+            return None; // waiting, not settled: the cooldown will expire
         }
         // A proven floor silences probing while the workload is unchanged.
         if let Some((fc, fw, cpu)) = record.reclaim_floor {
             let same_load = (sample.cpu_usage - cpu).abs() <= 0.15 * cpu.max(0.5);
-            let at_floor = server
-                .allocation(id)
-                .map(|a| a.cores.count() <= fc && a.ways.count() <= fw)
-                .unwrap_or(false);
+            let held = server.allocation(id);
+            let at_floor =
+                held.map(|a| a.cores.count() <= fc && a.ways.count() <= fw).unwrap_or(false);
             if same_load && at_floor {
-                return;
+                return held; // at_floor implies the allocation exists
             }
             if !same_load {
                 if let Some(rec) = self.records.get_mut(&id) {
@@ -1964,34 +2128,32 @@ impl OsmlScheduler {
                 }
             }
         }
-        let Some(record) = self.records.get(&id) else { return };
+        let record = self.records.get(&id)?;
         let cliff = record.prediction.rcliff;
-        let Some(alloc) = server.allocation(id) else { return };
+        let alloc = server.allocation(id)?;
         let margin = self.config.surplus_margin;
         // Line 2: only for dimensions exceeding RCliff + margin (a service
         // can be core-surplus while way-tight, and vice versa).
         let cores_surplus = alloc.cores.count() > cliff.cores + margin;
         let ways_surplus = alloc.ways.count() > cliff.ways + margin;
         if !cores_surplus && !ways_surplus {
-            return;
+            // Quiescent even if a stale floor was cleared above: the clear
+            // already landed, so re-running this probe on the identical
+            // observation is a pure no-op ending right here.
+            return Some(alloc);
         }
-        let action = {
-            let _span = self.telemetry.span("model.c.infer_us");
-            self.decisions.add(1);
-            self.models
-                .model_c
-                .best_action_where(&sample, |a| {
-                    a.dcores <= 0
-                        && a.dways <= 0
-                        && a != Action::noop()
-                        && (cores_surplus || a.dcores == 0)
-                        && (ways_surplus || a.dways == 0)
-                })
-                .unwrap_or(Action {
-                    dcores: if cores_surplus { -1 } else { 0 },
-                    dways: if ways_surplus { -1 } else { 0 },
-                })
-        };
+        let action = self
+            .model_c_action_where(pos, &sample, |a| {
+                a.dcores <= 0
+                    && a.dways <= 0
+                    && a != Action::noop()
+                    && (cores_surplus || a.dcores == 0)
+                    && (ways_surplus || a.dways == 0)
+            })
+            .unwrap_or(Action {
+                dcores: if cores_surplus { -1 } else { 0 },
+                dways: if ways_surplus { -1 } else { 0 },
+            });
         // Never reclaim below the cliff itself — and never "reclaim" upward
         // (a refreshed cliff prediction can sit above the current holding).
         let new_cores = ((alloc.cores.count() as i32 + action.dcores).max(cliff.cores as i32)
@@ -2000,7 +2162,10 @@ impl OsmlScheduler {
         let new_ways = ((alloc.ways.count() as i32 + action.dways).max(cliff.ways as i32) as usize)
             .min(alloc.ways.count());
         if new_cores == alloc.cores.count() && new_ways == alloc.ways.count() {
-            return;
+            // Not quiescent: the clamp outcome depends on Model-C's online
+            // weights, which move between ticks — the next identical
+            // observation may clamp differently.
+            return None;
         }
         let rollback = alloc;
         let mut shrunk = alloc;
@@ -2020,6 +2185,7 @@ impl OsmlScheduler {
                     Some(Pending { before: sample, action, kind: PendingKind::Reclaim, rollback });
             }
         }
+        None
     }
 
     // ------------------------------------------------------------------
@@ -2388,6 +2554,7 @@ impl AppRecord {
             fallback: snap.fallback,
             fallback_ok_ticks: snap.fallback_ok_ticks,
             class: snap.class,
+            probe_memo: None, // recovered services are re-probed in full
         }
     }
 
@@ -2406,6 +2573,7 @@ impl AppRecord {
             fallback: false,
             fallback_ok_ticks: 0,
             class: SloClass::default(),
+            probe_memo: None,
         }
     }
 }
@@ -2773,8 +2941,16 @@ impl Scheduler for OsmlScheduler {
         }
         let actions_before = self.actions;
         let ids = server.apps();
-        if self.config.event_driven {
+        if self.config.event_driven && ids.len() >= BATCH_FLEET_MIN {
             self.batch_model_a_refresh(server, &ids);
+            self.batch_model_c_prepass(&ids);
+        } else {
+            // Small fleets (or scan mode) take the scalar in-loop paths,
+            // which are bit-identical by construction. Both caches must be
+            // cleared: entries are only `take`n/validated when consumed, so
+            // a stale row from an earlier tick could otherwise alias.
+            self.scratch.pred_by_pos.clear();
+            self.scratch.c_by_pos.clear();
         }
         for (pos, &id) in ids.iter().enumerate() {
             self.settle_pending(server, id);
@@ -2785,6 +2961,27 @@ impl Scheduler for OsmlScheduler {
             let Some(sample) = self.fresh_sample(server, id) else {
                 continue; // no valid window yet (dropped since arrival)
             };
+            // Dirty-set probe (event mode): a service whose counters,
+            // latency and layout all match its memoized quiescent probe
+            // would provably repeat it — same Model-A refresh output, same
+            // Algorithm 3 early return, no state change — so skip the body.
+            // The substrate call sequence up to here (latency + sample) is
+            // exactly the scan engine's, so fault streams stay aligned.
+            if self.config.event_driven {
+                if let Some(rec) = self.records.get_mut(&id) {
+                    match &rec.probe_memo {
+                        Some(m)
+                            if m.sample == sample
+                                && m.lat == lat
+                                && Some(m.alloc) == server.allocation(id) =>
+                        {
+                            continue;
+                        }
+                        Some(_) => rec.probe_memo = None,
+                        None => {}
+                    }
+                }
+            }
             let now = server.now();
             let unhealthy = self.platform_unhealthy(now);
             // QoS watchdog: too many failed (or, under a misbehaving
@@ -2861,7 +3058,7 @@ impl Scheduler for OsmlScheduler {
                 if let Some(rec) = self.records.get_mut(&id) {
                     rec.violation_ticks += 1;
                 }
-                self.algorithm_2(server, id, sample);
+                self.algorithm_2(server, pos, id, sample);
             } else {
                 if let Some(rec) = self.records.get_mut(&id) {
                     rec.migration_requested = false;
@@ -2870,7 +3067,24 @@ impl Scheduler for OsmlScheduler {
                     // healthy again.
                     rec.failed_ml_actions = 0;
                 }
-                self.algorithm_3(server, id, sample);
+                let quiescent = self.algorithm_3(server, pos, id, sample);
+                // Memoize a quiescent probe (event mode only; scan stays
+                // the pure reference). Preconditions beyond quiescence:
+                // nothing pending (so `settle_pending` is a no-op with zero
+                // substrate calls next tick) and the ML path healthy. The
+                // resets above ran *before* this point, so the memoized
+                // record has `violation_ticks == 0`, `migration_requested ==
+                // false`, `failed_ml_actions == 0` — re-running them is a
+                // no-op too. Algorithm 3 hands back the allocation it
+                // already fetched, so the memo costs no extra query.
+                if self.config.event_driven {
+                    if let Some(alloc) = quiescent {
+                        if let Some(rec) = self.records.get_mut(&id) {
+                            rec.probe_memo = (!rec.fallback && rec.pending.is_none())
+                                .then_some(ProbeMemo { sample, lat, alloc });
+                        }
+                    }
+                }
             }
         }
         self.overload_control(server);

@@ -5,13 +5,16 @@
 //! Coverage:
 //!
 //! * a property test over random arrival/departure/load scripts on the
-//!   workload simulator (binary-rejection admission);
+//!   workload simulator (binary-rejection admission), pinning both the
+//!   decision log and the full unified golden-thread log;
 //! * the same property with overload management enabled (admission queue,
 //!   wait timeouts, brownout shave/shed) through the overload harness;
-//! * the canonical Fig. 20 overload script at both queue configurations.
+//! * the canonical Fig. 20 overload script at both queue configurations;
+//! * a quiet-fleet anchor proving the dirty-set probe memo actually skips
+//!   work (fewer model decisions) without changing either log.
 
 use osml_bench::overload::{overload_script, run_overload_detailed};
-use osml_core::{EventLog, Models, OsmlConfig, OsmlScheduler, OverloadConfig};
+use osml_core::{EventLog, Models, OsmlConfig, OsmlScheduler, OverloadConfig, UnifiedLog};
 use osml_models::{ModelA, ModelB, ModelBPrime, ModelC};
 use osml_platform::{Allocation, AppId, FaultPlan, Placement, Scheduler, Substrate};
 use osml_workloads::{LaunchSpec, Service, SimConfig, SimServer, ALL_SERVICES};
@@ -54,13 +57,29 @@ fn decode_ev(raw: u64) -> Ev {
     Ev { service, pct, arrive_tick, depart_tick, load_change }
 }
 
+/// One engine's observable outcome over a script.
+struct RunOutcome {
+    log: EventLog,
+    unified: UnifiedLog,
+    layout: Vec<(u64, Allocation)>,
+    /// Model decisions taken (Model-A predicts + Model-C inferences); the
+    /// dirty-set memo may lower this in event mode without touching either
+    /// log — skipped quiescent probes decide nothing.
+    decisions: u64,
+}
+
 /// Drives one engine through the script and returns its observable outcome:
-/// the full event log and the final `(id, allocation)` layout.
-fn run_script(event_driven: bool, seed: u64, script: &[Ev]) -> (EventLog, Vec<(u64, Allocation)>) {
+/// the decision log, the unified golden-thread log, the final
+/// `(id, allocation)` layout and the model-decision count.
+fn run_script(event_driven: bool, seed: u64, script: &[Ev]) -> RunOutcome {
+    run_script_for(event_driven, seed, script, 36)
+}
+
+fn run_script_for(event_driven: bool, seed: u64, script: &[Ev], ticks: usize) -> RunOutcome {
     let mut scheduler = raw_scheduler(OsmlConfig { event_driven, ..OsmlConfig::default() });
     let mut server = SimServer::new(SimConfig { noise_sigma: 0.0, seed, ..SimConfig::default() });
     let mut live: Vec<Option<AppId>> = vec![None; script.len()];
-    for tick in 0..36usize {
+    for tick in 0..ticks {
         for (idx, ev) in script.iter().enumerate() {
             if live[idx].is_some() && ev.depart_tick == Some(tick) {
                 let id = live[idx].take().expect("checked");
@@ -99,7 +118,12 @@ fn run_script(event_driven: bool, seed: u64, script: &[Ev]) -> (EventLog, Vec<(u
         .filter_map(|id| server.allocation(id).map(|a| (id.0, a)))
         .collect();
     layout.sort_by_key(|&(id, _)| id);
-    (scheduler.log().clone(), layout)
+    RunOutcome {
+        log: scheduler.log().clone(),
+        unified: scheduler.unified_log().clone(),
+        layout,
+        decisions: scheduler.decision_count(),
+    }
 }
 
 proptest! {
@@ -110,10 +134,20 @@ proptest! {
         script in proptest::collection::vec((0u64..u64::MAX).prop_map(decode_ev), 1..5),
         seed in 0u64..1000,
     ) {
-        let (scan_log, scan_layout) = run_script(false, seed, &script);
-        let (event_log, event_layout) = run_script(true, seed, &script);
-        prop_assert_eq!(scan_log, event_log, "event logs diverged (seed {})", seed);
-        prop_assert_eq!(scan_layout, event_layout, "final layouts diverged (seed {})", seed);
+        let scan = run_script(false, seed, &script);
+        let event = run_script(true, seed, &script);
+        prop_assert_eq!(scan.log, event.log, "event logs diverged (seed {})", seed);
+        prop_assert_eq!(
+            scan.unified, event.unified,
+            "unified golden-thread logs diverged (seed {})", seed
+        );
+        prop_assert_eq!(scan.layout, event.layout, "final layouts diverged (seed {})", seed);
+        prop_assert!(
+            event.decisions <= scan.decisions,
+            "the dirty-set memo may only remove decisions, never add them \
+             (scan {} vs event {}, seed {})",
+            scan.decisions, event.decisions, seed
+        );
     }
 
     #[test]
@@ -139,6 +173,31 @@ proptest! {
         prop_assert_eq!(scan_log, event_log, "overload event logs diverged (seed {})", seed);
         prop_assert_eq!(scan_layout, event_layout, "overload layouts diverged (seed {})", seed);
     }
+}
+
+/// A quiet fleet: a few lightly-loaded services that arrive early, never
+/// depart and never change load. Once each settles (surplus reclaimed to
+/// its floor), every further probe observes the same counters, latency and
+/// layout — exactly the window the dirty-set memo exists for. The memo must
+/// skip those probes (strictly fewer model decisions than the scan engine)
+/// while both logs and the final layout stay bit-identical.
+#[test]
+fn dirty_set_memo_skips_quiet_probes_without_changing_the_logs() {
+    let quiet =
+        |service| Ev { service, pct: 15.0, arrive_tick: 0, depart_tick: None, load_change: None };
+    let script = vec![quiet(Service::Memcached), quiet(Service::Nginx), quiet(Service::Masstree)];
+    let scan = run_script_for(false, 11, &script, 60);
+    let event = run_script_for(true, 11, &script, 60);
+    assert_eq!(scan.log, event.log, "event logs diverged on the quiet fleet");
+    assert_eq!(scan.unified, event.unified, "unified logs diverged on the quiet fleet");
+    assert_eq!(scan.layout, event.layout, "final layouts diverged on the quiet fleet");
+    assert!(
+        event.decisions < scan.decisions,
+        "the memo never fired: a settled fleet must skip quiescent probes \
+         (scan made {} model decisions, event {})",
+        scan.decisions,
+        event.decisions
+    );
 }
 
 /// The canonical Fig. 20 sweep point, both with the queue disabled (binary

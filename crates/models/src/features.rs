@@ -121,6 +121,18 @@ pub fn model_c_state(sample: &CounterSample) -> Vec<f32> {
     v
 }
 
+/// Writes the Model-C state into a caller-provided row (the batched gather
+/// path); identical to [`model_c_state`] without the allocation.
+///
+/// # Panics
+///
+/// Panics if `out.len() != MODEL_C_STATE`.
+pub fn write_model_c_state(sample: &CounterSample, out: &mut [f32]) {
+    assert_eq!(out.len(), MODEL_C_STATE, "feature row width mismatch");
+    write_base_features(sample, &mut out[..BASE_FEATURES]);
+    out[BASE_FEATURES] = normalized_latency(sample.response_latency_ms);
+}
+
 /// Log-scaled latency feature. NaN and infinite inputs are defused (0.0 and
 /// the scale ceiling respectively) rather than propagated.
 pub fn normalized_latency(latency_ms: f64) -> f32 {
