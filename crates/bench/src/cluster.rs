@@ -1,0 +1,197 @@
+//! Cluster-level failover experiments (Fig. 22): a fleet of OSML nodes
+//! under a seeded node-churn plan, swept over node-failure rate and fleet
+//! size, comparing the full failover stack against ablated tiers.
+//!
+//! The accounting is demand-based: every submitted service contributes one
+//! service-second of *demand* per elapsed second from submission onwards,
+//! and one service-second of *compliance* only while it is running within
+//! its QoS target. Evicted and rejected services keep demanding — a tier
+//! that sheds services on node death pays for it in compliance, which is
+//! exactly what makes the no-failover ablation comparable to (and never
+//! better than) the failover stack.
+
+use osml_core::{
+    Cluster, ClusterConfig, ClusterPlacement, OsmlConfig, OsmlScheduler, PlacementPolicy,
+    ServiceDisposition,
+};
+use osml_platform::NodeFaultPlan;
+use osml_workloads::{LaunchSpec, Service};
+use serde::{Deserialize, Serialize};
+
+/// Which tier of the fault-tolerance stack a run exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailoverArm {
+    /// Legacy tier: first-fit placement, node death evicts residents.
+    NoFailover,
+    /// Interference-aware placement only; still no failover on death.
+    ScoreOnly,
+    /// The full stack: scored placement plus failover of stranded services.
+    OsmlFailover,
+}
+
+impl FailoverArm {
+    /// All arms, in ablation order.
+    pub const ALL: [FailoverArm; 3] =
+        [FailoverArm::NoFailover, FailoverArm::ScoreOnly, FailoverArm::OsmlFailover];
+
+    /// Short label for tables and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            FailoverArm::NoFailover => "no-failover",
+            FailoverArm::ScoreOnly => "score-only",
+            FailoverArm::OsmlFailover => "osml-failover",
+        }
+    }
+
+    fn config(self, node_faults: NodeFaultPlan) -> ClusterConfig {
+        match self {
+            FailoverArm::NoFailover => ClusterConfig {
+                failover: false,
+                policy: PlacementPolicy::FirstFit,
+                node_faults,
+                ..ClusterConfig::default()
+            },
+            FailoverArm::ScoreOnly => ClusterConfig {
+                failover: false,
+                policy: PlacementPolicy::InterferenceScore,
+                node_faults,
+                ..ClusterConfig::default()
+            },
+            FailoverArm::OsmlFailover => {
+                ClusterConfig { node_faults, ..ClusterConfig::failover_enabled() }
+            }
+        }
+    }
+}
+
+/// One `(arm, failure rate, fleet size)` cell of the Fig. 22 sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterRunOutcome {
+    /// Which tier ran.
+    pub arm: FailoverArm,
+    /// Per-interval node-crash probability of the churn plan.
+    pub failure_rate: f64,
+    /// Fleet size.
+    pub nodes: usize,
+    /// Services submitted.
+    pub services: usize,
+    /// Simulated seconds.
+    pub duration_s: f64,
+    /// Compliant service-seconds over demanded service-seconds.
+    pub qos_compliance: f64,
+    /// Services that ended the run evicted (typed losses).
+    pub evicted: usize,
+    /// Services rejected at submission.
+    pub rejected: usize,
+    /// Submitted ids with no disposition — must always be zero.
+    pub lost_silently: usize,
+    /// Node-death failovers committed.
+    pub failovers: usize,
+    /// QoS-violation migrations committed.
+    pub migrations: usize,
+    /// Distinct node-down transitions observed.
+    pub node_failures: usize,
+    /// Whether the unified log folded without error after the run.
+    pub replay_ok: bool,
+}
+
+/// The Fig. 10 service mix, cycled to `count` services at moderate load so
+/// a survivor fleet has headroom to absorb failovers.
+pub fn failover_workload(count: usize) -> Vec<LaunchSpec> {
+    let mix = [
+        (Service::Xapian, 25.0),
+        (Service::ImgDnn, 25.0),
+        (Service::Moses, 25.0),
+        (Service::Masstree, 25.0),
+    ];
+    (0..count)
+        .map(|i| {
+            let (s, pct) = mix[i % mix.len()];
+            LaunchSpec::at_percent_load(s, pct)
+        })
+        .collect()
+}
+
+/// Runs one cell of the failover sweep: `services` services on a fleet of
+/// `nodes`, churned at `failure_rate` for `duration_s` seconds.
+///
+/// # Panics
+///
+/// Panics if a submitted id ends the run without a disposition (the no-loss
+/// invariant) or if the unified log fails to fold — both indicate bugs, not
+/// workload effects.
+pub fn run_cluster_failover(
+    template: &OsmlScheduler,
+    nodes: usize,
+    specs: &[LaunchSpec],
+    duration_s: f64,
+    failure_rate: f64,
+    seed: u64,
+    arm: FailoverArm,
+) -> ClusterRunOutcome {
+    let plan = if failure_rate > 0.0 {
+        NodeFaultPlan::churn_at_rate(seed ^ 0x22, failure_rate)
+    } else {
+        NodeFaultPlan::none()
+    };
+    let cfg = arm.config(plan);
+    let mut cluster = Cluster::try_new(nodes, template.clone(), OsmlConfig::default(), cfg, seed)
+        .expect("fleet size is positive");
+
+    let mut ids = Vec::new();
+    for spec in specs {
+        match cluster.submit(*spec) {
+            ClusterPlacement::Placed(h) => ids.push(h.id),
+            // Rejected ids still demand service-seconds; track via ledger.
+            ClusterPlacement::ClusterFull => {}
+        }
+    }
+
+    let mut demanded = 0.0f64;
+    let mut compliant = 0.0f64;
+    let mut node_failures = 0usize;
+    let mut was_up = vec![true; nodes];
+    let steps = duration_s.max(0.0).round() as usize;
+    for _ in 0..steps {
+        cluster.run(1.0);
+        for (node, up) in was_up.iter_mut().enumerate() {
+            let now_up = cluster.node_is_up(node);
+            if *up && !now_up {
+                node_failures += 1;
+            }
+            *up = now_up;
+        }
+        for (id, disposition) in cluster.dispositions() {
+            demanded += 1.0;
+            if disposition == ServiceDisposition::Running
+                && cluster.latency_over_target(id).is_some_and(|ratio| ratio <= 1.0)
+            {
+                compliant += 1.0;
+            }
+        }
+    }
+
+    let dispositions = cluster.dispositions();
+    let lost_silently = cluster.submitted() as usize - dispositions.len();
+    assert_eq!(lost_silently, 0, "every submitted id must keep a typed disposition");
+    let evicted = dispositions.iter().filter(|(_, d)| *d == ServiceDisposition::Evicted).count();
+    let rejected = dispositions.iter().filter(|(_, d)| *d == ServiceDisposition::Rejected).count();
+    let replay_ok = cluster.unified_log().replay().is_ok();
+    assert!(replay_ok, "the cluster's golden log must fold after the run");
+
+    ClusterRunOutcome {
+        arm,
+        failure_rate,
+        nodes,
+        services: specs.len(),
+        duration_s,
+        qos_compliance: if demanded > 0.0 { compliant / demanded } else { 1.0 },
+        evicted,
+        rejected,
+        lost_silently,
+        failovers: cluster.failovers(),
+        migrations: cluster.migrations(),
+        node_failures,
+        replay_ok,
+    }
+}

@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod cluster;
 pub mod grid;
 pub mod overload;
 pub mod perf;

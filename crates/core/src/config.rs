@@ -1,4 +1,4 @@
-use osml_platform::SloClass;
+use osml_platform::{FaultPlan, NodeFaultPlan, SloClass};
 use serde::{Deserialize, Serialize};
 
 /// Tunables of the OSML controller. Defaults follow the paper.
@@ -166,6 +166,73 @@ impl OverloadConfig {
     }
 }
 
+/// How the cluster tier ranks candidate nodes for placement and failover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// Legacy first-fit: nodes tried in order of most idle cores. The
+    /// default, bit-identical to the pre-failover cluster.
+    FirstFit,
+    /// Interference-aware scoring: free capacity (idle cores + idle LLC
+    /// ways) scaled by node health, minus the QoS pressure of residents
+    /// already close to violation — so a crashed node's services land
+    /// where they disturb the least, not merely where cores are idle.
+    InterferenceScore,
+}
+
+/// Tunables of the cluster tier: placement policy, failover, resilient
+/// migration and the fault schedule. The default reproduces the legacy
+/// cluster bit-for-bit: first-fit placement, no node faults, no actuation
+/// faults — failover machinery is armed but has nothing to react to.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Seconds of continuous QoS violation before the upper scheduler
+    /// migrates a service away from its node.
+    pub migration_patience_s: f64,
+    /// Candidate-node ranking for submit, failover and migration.
+    pub policy: PlacementPolicy,
+    /// Whether a dead node's services are re-placed on survivors. With
+    /// failover off they become typed `Evicted` outcomes instead.
+    pub failover: bool,
+    /// Warm-up cost charged on every migration destination, seconds: the
+    /// violation clock is suspended for this window (cache refill and
+    /// layout re-derivation make early samples unrepresentative — the
+    /// same reasoning as the §V-B 2 s sampling window).
+    pub warmup_cost_s: f64,
+    /// Migration attempts (QoS-violation path) allowed per service before
+    /// the cluster stops moving it — the anti-thrash budget. Failover
+    /// after a node death is never budget-limited.
+    pub migration_budget: u32,
+    /// Whole-node fault schedule (crash / outage / degrade / churn).
+    pub node_faults: NodeFaultPlan,
+    /// Call-level fault plan installed on every node's substrate (the
+    /// plan's seed is re-salted per node). A none plan keeps the wrapper
+    /// bit-transparent; a live plan makes migration installs go through
+    /// the retry-with-backoff path.
+    pub actuation_faults: FaultPlan,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            migration_patience_s: 30.0,
+            policy: PlacementPolicy::FirstFit,
+            failover: true,
+            warmup_cost_s: 2.0,
+            migration_budget: 3,
+            node_faults: NodeFaultPlan::none(),
+            actuation_faults: FaultPlan::none(),
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// The preset the Fig. 22 failover arms build on: interference-aware
+    /// placement with failover armed.
+    pub fn failover_enabled() -> Self {
+        ClusterConfig { policy: PlacementPolicy::InterferenceScore, ..ClusterConfig::default() }
+    }
+}
+
 impl Default for OsmlConfig {
     fn default() -> Self {
         OsmlConfig {
@@ -236,6 +303,20 @@ mod tests {
         let c = OsmlConfig { sampling_window_s: 1.0, ..OsmlConfig::default() };
         let back: OsmlConfig = serde_json::from_str(&serde_json::to_string(&c).unwrap()).unwrap();
         assert_eq!(back, c);
+    }
+
+    #[test]
+    fn cluster_defaults_reproduce_the_legacy_tier_and_round_trip() {
+        let c = ClusterConfig::default();
+        assert_eq!(c.policy, PlacementPolicy::FirstFit, "legacy placement order by default");
+        assert!(c.node_faults.is_none(), "no node faults unless scripted");
+        assert!(c.actuation_faults.profile.is_none(), "transparent substrate wrapper");
+        assert_eq!(c.migration_patience_s, 30.0, "matches the pre-failover field default");
+        assert!(c.failover && c.warmup_cost_s > 0.0 && c.migration_budget >= 1);
+        let back: ClusterConfig =
+            serde_json::from_str(&serde_json::to_string(&c).unwrap()).unwrap();
+        assert_eq!(back, c);
+        assert_eq!(ClusterConfig::failover_enabled().policy, PlacementPolicy::InterferenceScore);
     }
 
     #[test]

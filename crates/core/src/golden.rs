@@ -49,6 +49,9 @@ pub enum LaunchCause {
     /// An admission retry of a queued or shed ticket (endogenous: a
     /// consequence of controller decisions, re-derived on A/B replay).
     AdmissionRetry,
+    /// The cluster tier re-placed the service on another node — after a
+    /// node death or a QoS-violation migration (endogenous).
+    Failover,
 }
 
 /// Why the driver removed a process from the substrate.
@@ -63,6 +66,13 @@ pub enum RemovalCause {
     RejectedWithdrawal,
     /// The controller shed the service during brownout (endogenous).
     ShedWithdrawal,
+    /// Its node died with it still resident; a failover re-placement, if
+    /// any, follows as its own [`WorldFact::Launched`] (exogenous cause,
+    /// endogenous consequence).
+    NodeFailure,
+    /// The cluster tier tore down the source replica after the
+    /// destination launch of a migration committed (endogenous).
+    Migrated,
 }
 
 /// Layer 1: a fact about the world. World facts are controller-independent
@@ -132,6 +142,17 @@ pub enum WorldFact {
     },
     /// The controller process died and was warm-restarted.
     ControllerCrashed,
+    /// A cluster node died (crash, outage window or churn); events with
+    /// `app` ids record what became of its residents.
+    NodeFailed {
+        /// The dead node's index.
+        node: usize,
+    },
+    /// A previously failed cluster node rejoined the fleet, empty.
+    NodeRecovered {
+        /// The rejoining node's index.
+        node: usize,
+    },
 }
 
 /// Layer 2: a decision the controller made. Every state-mutating site in
@@ -716,7 +737,9 @@ pub fn replay(events: &[UnifiedEvent]) -> Result<ReplayState, ReplayError> {
                 | WorldFact::DepartureDue { .. }
                 | WorldFact::LoadChanged { .. }
                 | WorldFact::FaultInjected { .. }
-                | WorldFact::ControllerCrashed => {}
+                | WorldFact::ControllerCrashed
+                | WorldFact::NodeFailed { .. }
+                | WorldFact::NodeRecovered { .. } => {}
             },
             EventBody::Decision(decision) => {
                 match decision {
@@ -981,6 +1004,56 @@ mod tests {
             prop_assert_eq!(back.events(), &log.events()[..back.events().len()]);
             prop_assert_eq!(loss.bytes_dropped + cut - loss.bytes_dropped, cut);
         }
+    }
+
+    #[test]
+    fn cluster_failover_sequence_folds_and_round_trips() {
+        use osml_telemetry::{ActionKind, Provenance};
+        // The cluster tier logs a committed migration as
+        // Removed(source) → Launched(destination) → Alloc(Migrate), so the
+        // fold never sees the service resident in two places.
+        let launched = |cause| {
+            EventBody::World(WorldFact::Launched {
+                workload: 1,
+                service: Service::Moses,
+                class: SloClass::LatencyCritical,
+                threads: 4,
+                offered_rps: 100.0,
+                bootstrap: alloc(0..2, 0, 2),
+                cause,
+            })
+        };
+        let mut log = UnifiedLog::new();
+        log.push(0, 0.0, Some(1), launched(LaunchCause::Scripted));
+        log.push(3, 3.0, None, EventBody::World(WorldFact::NodeFailed { node: 0 }));
+        log.push(
+            3,
+            3.0,
+            Some(1),
+            EventBody::World(WorldFact::Removed { cause: RemovalCause::NodeFailure }),
+        );
+        log.push(3, 3.0, Some(1), EventBody::Decision(Decision::MigrationRequested));
+        log.push(3, 3.0, Some(1), launched(LaunchCause::Failover));
+        log.push(
+            3,
+            3.0,
+            Some(1),
+            EventBody::Decision(Decision::Alloc {
+                kind: ActionKind::Migrate,
+                provenance: Provenance::Controller,
+                pre: Some(alloc(0..2, 0, 2)),
+                post: alloc(2..4, 2, 2),
+                counts_as_action: true,
+            }),
+        );
+        log.push(10, 10.0, None, EventBody::World(WorldFact::NodeRecovered { node: 0 }));
+        let state = log.replay().unwrap();
+        assert_eq!(state.layouts.len(), 1, "exactly one live replica after the migration");
+        assert_eq!(state.layouts[&1], alloc(2..4, 2, 2));
+        assert_eq!(state.actions, 1);
+        let (back, loss) = UnifiedLog::from_jsonl_tolerant(&log.to_jsonl()).unwrap();
+        assert_eq!(loss, TailLoss::default());
+        assert_eq!(back, log);
     }
 
     #[test]

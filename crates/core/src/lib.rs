@@ -45,8 +45,8 @@ mod resilience;
 
 pub use admission::OverloadState;
 pub use bootstrap::bootstrap_allocation;
-pub use cluster::{Cluster, ClusterPlacement, ServiceHandle};
-pub use config::{OsmlConfig, OverloadConfig};
+pub use cluster::{Cluster, ClusterError, ClusterPlacement, ServiceDisposition, ServiceHandle};
+pub use config::{ClusterConfig, OsmlConfig, OverloadConfig, PlacementPolicy};
 pub use events::{EventKind, EventLog, LogEntry};
 pub use golden::{
     first_divergence, replay, Decision, Divergence, EventBody, LaunchCause, RemovalCause,

@@ -1,0 +1,168 @@
+//! Cross-crate tests of the fault-tolerant cluster tier: service
+//! conservation under arbitrary submit/finish/kill/recover interleavings,
+//! failover across scripted node deaths, and golden-thread replay of
+//! cluster runs.
+
+use osml_core::{
+    Cluster, ClusterConfig, ClusterError, ClusterPlacement, Models, OsmlConfig, OsmlScheduler,
+    ServiceDisposition,
+};
+use osml_models::{ModelA, ModelB, ModelBPrime, ModelC};
+use osml_platform::{NodeCrash, NodeFaultPlan};
+use osml_workloads::{LaunchSpec, Service};
+use proptest::prelude::*;
+
+fn raw_scheduler() -> OsmlScheduler {
+    OsmlScheduler::new(
+        Models {
+            model_a: ModelA::new(36, 20, 1),
+            model_b: ModelB::new(36, 20, 2),
+            model_b_prime: ModelBPrime::new(3),
+            model_c: ModelC::new(4),
+        },
+        OsmlConfig::default(),
+    )
+}
+
+#[test]
+fn zero_node_cluster_is_a_typed_error() {
+    assert_eq!(
+        Cluster::try_new(0, raw_scheduler(), OsmlConfig::default(), ClusterConfig::default(), 1)
+            .unwrap_err(),
+        ClusterError::NoNodes
+    );
+}
+
+/// Satellite regression: kill the node hosting a service, then resolve the
+/// migrated service by cluster id — `locate`, `latency_over_target`, and
+/// `finish` must never chase the stale `(node, app)` pair.
+#[test]
+fn failover_keeps_ids_resolvable_across_node_death() {
+    let cfg = ClusterConfig {
+        node_faults: NodeFaultPlan {
+            crashes: vec![NodeCrash { node: 0, at_s: 10.0, recover_s: None }],
+            ..NodeFaultPlan::none()
+        },
+        ..ClusterConfig::failover_enabled()
+    };
+    let mut cluster = Cluster::try_new(3, raw_scheduler(), OsmlConfig::default(), cfg, 42).unwrap();
+    let mut handles = Vec::new();
+    for service in [Service::Moses, Service::Login, Service::ImgDnn] {
+        match cluster.submit(LaunchSpec::at_percent_load(service, 25.0)) {
+            ClusterPlacement::Placed(h) => handles.push(h),
+            ClusterPlacement::ClusterFull => panic!("an empty 3-node fleet rejected a service"),
+        }
+    }
+    let on_zero: Vec<_> = handles.iter().filter(|h| h.node == 0).copied().collect();
+    assert!(!on_zero.is_empty(), "first-fit must land something on node 0");
+
+    cluster.run(20.0);
+    assert!(!cluster.node_is_up(0));
+    assert_eq!(cluster.failovers(), on_zero.len());
+    for stale in &on_zero {
+        let here = cluster.locate(stale.id).expect("failed-over service stays resolvable");
+        assert_ne!(here.node, 0, "must have left the dead node");
+        assert!(
+            cluster.latency_over_target(stale.id).is_some(),
+            "latency resolves through the new replica"
+        );
+        assert_eq!(cluster.disposition(stale.id), Some(ServiceDisposition::Running));
+    }
+    // The stale pre-death handle still finishes the service by id.
+    let stale = on_zero[0];
+    assert!(cluster.finish(stale));
+    assert!(cluster.locate(stale.id).is_none());
+    cluster.unified_log().replay().expect("cluster log must fold after failover");
+}
+
+/// One scripted operation of the conservation interleaving.
+#[derive(Debug, Clone)]
+enum Op {
+    Submit(usize),
+    FinishOldest,
+    Kill(usize),
+    Recover(usize),
+    Run(u8),
+}
+
+/// Decodes one raw draw into a weighted operation (the vendored proptest
+/// has no `prop_oneof`, so the mix is hand-rolled from an integer).
+fn decode_op(raw: usize, nodes: usize) -> Op {
+    let payload = raw / 10;
+    match raw % 10 {
+        0..=2 => Op::Submit(payload % 4),
+        3..=4 => Op::FinishOldest,
+        5 => Op::Kill(payload % nodes),
+        6 => Op::Recover(payload % nodes),
+        _ => Op::Run(1 + (payload % 5) as u8),
+    }
+}
+
+const SERVICES: [Service; 4] =
+    [Service::Moses, Service::Login, Service::ImgDnn, Service::Memcached];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conservation under arbitrary interleavings of submit / finish /
+    /// node-kill / node-recover / run: every id ever issued holds exactly
+    /// one disposition at all times (placed, evicted, rejected, finished —
+    /// never lost, never duplicated), running services resolve to up
+    /// nodes, and the golden log still folds at the end.
+    #[test]
+    fn services_are_conserved_under_chaos(
+        raw_ops in proptest::collection::vec(0usize..1000, 1..40),
+        seed in 0u64..1000,
+    ) {
+        let ops: Vec<Op> = raw_ops.iter().map(|&r| decode_op(r, 3)).collect();
+        let mut cluster = Cluster::try_new(
+            3,
+            raw_scheduler(),
+            OsmlConfig::default(),
+            ClusterConfig::failover_enabled(),
+            seed,
+        )
+        .unwrap();
+        let mut issued: Vec<u64> = Vec::new();
+        let mut finished: Vec<u64> = Vec::new();
+        for op in &ops {
+            match op {
+                Op::Submit(which) => {
+                    let spec = LaunchSpec::at_percent_load(SERVICES[*which], 20.0);
+                    let before = cluster.submitted();
+                    let _ = cluster.submit(spec);
+                    prop_assert_eq!(cluster.submitted(), before + 1);
+                    issued.push(before);
+                }
+                Op::FinishOldest => {
+                    if let Some(h) = cluster.services().first().copied() {
+                        prop_assert!(cluster.finish(h));
+                        finished.push(h.id);
+                    }
+                }
+                Op::Kill(node) => cluster.kill_node(*node),
+                Op::Recover(node) => cluster.restore_node(*node),
+                Op::Run(s) => cluster.run(*s as f64),
+            }
+            // Invariant: the ledger covers every issued id, exactly once.
+            let ledger = cluster.dispositions();
+            prop_assert_eq!(ledger.len() as u64, cluster.submitted());
+            for id in &issued {
+                prop_assert!(
+                    ledger.iter().filter(|(lid, _)| lid == id).count() == 1,
+                    "id {} must appear exactly once in the ledger", id
+                );
+            }
+            // Running services are exactly the placed, un-finished ones,
+            // and they live on up nodes.
+            for h in cluster.services() {
+                prop_assert_eq!(cluster.disposition(h.id), Some(ServiceDisposition::Running));
+                prop_assert!(cluster.node_is_up(h.node), "no service may live on a dead node");
+            }
+        }
+        for id in &finished {
+            prop_assert_eq!(cluster.disposition(*id), Some(ServiceDisposition::Finished));
+        }
+        cluster.unified_log().replay().expect("cluster log must fold after the interleaving");
+    }
+}

@@ -220,8 +220,10 @@ struct FaultState {
 
 /// SplitMix64-style hash of `(seed, call, salt)` to a uniform `f64` in
 /// `[0, 1)`. Stateless per call, so the fault trace depends only on the
-/// plan and the call sequence — never on thread scheduling.
-fn decision(seed: u64, call: u64, salt: u64) -> f64 {
+/// plan and the call sequence — never on thread scheduling. Shared with
+/// the whole-node fault model in [`crate::node_faults`], which keys it by
+/// `(node, interval)` instead of a call counter.
+pub(crate) fn decision(seed: u64, call: u64, salt: u64) -> f64 {
     let mut z =
         seed ^ call.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt.wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);

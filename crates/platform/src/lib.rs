@@ -53,6 +53,7 @@ mod counters;
 mod error;
 pub mod faults;
 mod mba;
+pub mod node_faults;
 mod schedule;
 mod substrate;
 mod topology;
@@ -65,6 +66,9 @@ pub use faults::{
     FailWindow, FaultPlan, FaultProfile, FaultRecord, FaultySubstrate, InjectedFault,
 };
 pub use mba::MbaThrottle;
+pub use node_faults::{
+    NodeChurnProfile, NodeCrash, NodeDegrade, NodeFaultPlan, NodeHealth, NodeOutage,
+};
 pub use schedule::{Placement, RejectReason, Scheduler, SloClass};
 pub use substrate::{AppId, Substrate};
 pub use topology::{ServerSpec, Topology};

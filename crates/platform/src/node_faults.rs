@@ -1,0 +1,346 @@
+//! Deterministic whole-node fault model for the cluster tier.
+//!
+//! [`crate::FaultySubstrate`] injects *call-level* faults (a failed MSR
+//! write, a dropped counter window). Cluster experiments need the next
+//! size up: machines that crash, get drained for maintenance, or limp
+//! along at reduced capacity. [`NodeFaultPlan`] scripts exactly that, in
+//! the same faults-are-inputs style:
+//!
+//! * **crashes** — [`NodeCrash`]: the node dies at a scripted instant and
+//!   (optionally) rejoins empty at a later one,
+//! * **outage windows** — [`NodeOutage`]: a scheduled `[start, end)`
+//!   maintenance drain,
+//! * **degraded capacity** — [`NodeDegrade`]: the node stays up but only a
+//!   fraction of it is usable (thermal throttling, a failed DIMM bank);
+//!   placement should rank it down, not around,
+//! * **seeded churn** — [`NodeChurnProfile`]: every node flips a weighted
+//!   coin per interval and, on a loss, stays down for a deterministic
+//!   downtime drawn around the profile's mean.
+//!
+//! Health is a *pure function* of the plan and the queried `(node, time)`
+//! — no interior state, no RNG stream to keep in sync — so the cluster
+//! can evaluate it at any cadence and a replayed run sees the identical
+//! failure schedule. The churn draws reuse the SplitMix64 decision hash
+//! of [`crate::faults`], keyed by `(node, interval)` instead of a call
+//! counter.
+
+use crate::faults::decision;
+use serde::{Deserialize, Serialize};
+
+/// Salts separating the churn decision streams from the call-level fault
+/// salts (1–5) in [`crate::faults`].
+const SALT_NODE_CRASH: u64 = 101;
+const SALT_NODE_DOWNTIME: u64 = 102;
+
+/// Health of one cluster node at an instant of simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum NodeHealth {
+    /// Fully operational.
+    Up,
+    /// Operational at the given fraction of nominal capacity in `(0, 1)`.
+    Degraded(f64),
+    /// Dead: its processes are gone and nothing can be placed on it.
+    Down,
+}
+
+impl NodeHealth {
+    /// Whether the node can host services at all (up or degraded).
+    pub fn is_up(self) -> bool {
+        !matches!(self, NodeHealth::Down)
+    }
+
+    /// Usable capacity fraction: 1 when up, the degradation factor when
+    /// degraded, 0 when down.
+    pub fn capacity(self) -> f64 {
+        match self {
+            NodeHealth::Up => 1.0,
+            NodeHealth::Degraded(f) => f.clamp(0.0, 1.0),
+            NodeHealth::Down => 0.0,
+        }
+    }
+}
+
+/// A scripted whole-node crash.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeCrash {
+    /// Which node dies.
+    pub node: usize,
+    /// When it dies, seconds of simulated time (inclusive).
+    pub at_s: f64,
+    /// When it rejoins (empty), if ever.
+    pub recover_s: Option<f64>,
+}
+
+/// A scheduled outage window `[start_s, end_s)`: the node is drained for
+/// the duration and rejoins empty at the end.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeOutage {
+    /// Which node is drained.
+    pub node: usize,
+    /// Window start, seconds (inclusive).
+    pub start_s: f64,
+    /// Window end, seconds (exclusive).
+    pub end_s: f64,
+}
+
+/// A degraded-capacity episode: the node stays up inside `[start_s,
+/// end_s)` but only `capacity` of it is usable.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeDegrade {
+    /// Which node degrades.
+    pub node: usize,
+    /// Episode start, seconds (inclusive).
+    pub start_s: f64,
+    /// Episode end, seconds (exclusive).
+    pub end_s: f64,
+    /// Usable capacity fraction in `(0, 1)`.
+    pub capacity: f64,
+}
+
+/// Seeded random node churn: in every interval of `interval_s` seconds,
+/// each node crashes with probability `crash_prob` at the interval start
+/// and stays down for a deterministic downtime drawn uniformly in
+/// `[0.5, 1.5) · mean_downtime_s`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeChurnProfile {
+    /// Per-node crash probability per interval, in `[0, 1]`.
+    pub crash_prob: f64,
+    /// Interval length, seconds.
+    pub interval_s: f64,
+    /// Mean downtime of one crash, seconds.
+    pub mean_downtime_s: f64,
+}
+
+impl NodeChurnProfile {
+    /// The longest downtime one crash can draw.
+    fn max_downtime_s(&self) -> f64 {
+        self.mean_downtime_s * 1.5
+    }
+}
+
+/// The full node-fault schedule: scripted events plus optional churn,
+/// pinned by a seed. Health is a pure function of the plan and the
+/// queried `(node, time)`, so identical plans yield identical failure
+/// schedules on every run and under replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeFaultPlan {
+    /// Seed of the churn decision hash.
+    pub seed: u64,
+    /// Scripted crashes.
+    pub crashes: Vec<NodeCrash>,
+    /// Scheduled outage windows.
+    pub outages: Vec<NodeOutage>,
+    /// Degraded-capacity episodes.
+    pub degrades: Vec<NodeDegrade>,
+    /// Seeded random churn, if any.
+    pub churn: Option<NodeChurnProfile>,
+}
+
+impl NodeFaultPlan {
+    /// A plan under which every node is always [`NodeHealth::Up`].
+    pub fn none() -> Self {
+        NodeFaultPlan {
+            seed: 0,
+            crashes: Vec::new(),
+            outages: Vec::new(),
+            degrades: Vec::new(),
+            churn: None,
+        }
+    }
+
+    /// Pure churn at `crash_prob` per node per 30 s interval with a 20 s
+    /// mean downtime — the knob the failover sweep turns.
+    pub fn churn_at_rate(seed: u64, crash_prob: f64) -> Self {
+        let churn = if crash_prob > 0.0 {
+            Some(NodeChurnProfile { crash_prob, interval_s: 30.0, mean_downtime_s: 20.0 })
+        } else {
+            None
+        };
+        NodeFaultPlan { seed, churn, ..NodeFaultPlan::none() }
+    }
+
+    /// Whether this plan can take a node out of [`NodeHealth::Up`] at all.
+    pub fn is_none(&self) -> bool {
+        self.crashes.is_empty()
+            && self.outages.is_empty()
+            && self.degrades.is_empty()
+            && self.churn.is_none()
+    }
+
+    /// Health of `node` at simulated time `now_s`. Down dominates
+    /// degraded; overlapping sources are ORed.
+    pub fn health(&self, node: usize, now_s: f64) -> NodeHealth {
+        let crashed = self.crashes.iter().any(|c| {
+            c.node == node && now_s >= c.at_s && c.recover_s.map(|r| now_s < r).unwrap_or(true)
+        });
+        let in_outage =
+            self.outages.iter().any(|o| o.node == node && now_s >= o.start_s && now_s < o.end_s);
+        if crashed || in_outage || self.churned_down(node, now_s) {
+            return NodeHealth::Down;
+        }
+        let degrade = self
+            .degrades
+            .iter()
+            .filter(|d| d.node == node && now_s >= d.start_s && now_s < d.end_s)
+            .map(|d| d.capacity.clamp(0.0, 1.0))
+            .fold(f64::INFINITY, f64::min);
+        if degrade.is_finite() {
+            NodeHealth::Degraded(degrade)
+        } else {
+            NodeHealth::Up
+        }
+    }
+
+    /// Whether churn has `node` down at `now_s`: a crash drawn in any
+    /// recent interval whose downtime still covers `now_s`.
+    fn churned_down(&self, node: usize, now_s: f64) -> bool {
+        let Some(churn) = &self.churn else {
+            return false;
+        };
+        if churn.crash_prob <= 0.0 || churn.interval_s <= 0.0 || now_s < 0.0 {
+            return false;
+        }
+        // Only intervals whose start lies within max_downtime of `now_s`
+        // can still hold the node down.
+        let current = (now_s / churn.interval_s).floor() as i64;
+        let reach = (churn.max_downtime_s() / churn.interval_s).ceil() as i64;
+        for k in (current - reach).max(0)..=current {
+            let key = ((node as u64) << 32) | (k as u64 & 0xFFFF_FFFF);
+            if decision(self.seed, key, SALT_NODE_CRASH) >= churn.crash_prob {
+                continue;
+            }
+            let start = k as f64 * churn.interval_s;
+            let downtime =
+                churn.mean_downtime_s * (0.5 + decision(self.seed, key, SALT_NODE_DOWNTIME));
+            if now_s >= start && now_s < start + downtime {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl Default for NodeFaultPlan {
+    fn default() -> Self {
+        NodeFaultPlan::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_is_always_up() {
+        let plan = NodeFaultPlan::none();
+        assert!(plan.is_none());
+        for node in 0..8 {
+            for t in 0..500 {
+                assert_eq!(plan.health(node, t as f64), NodeHealth::Up);
+            }
+        }
+    }
+
+    #[test]
+    fn scripted_crash_without_recovery_is_permanent() {
+        let plan = NodeFaultPlan {
+            crashes: vec![NodeCrash { node: 1, at_s: 10.0, recover_s: None }],
+            ..NodeFaultPlan::none()
+        };
+        assert!(plan.health(1, 9.9).is_up());
+        assert_eq!(plan.health(1, 10.0), NodeHealth::Down);
+        assert_eq!(plan.health(1, 1e6), NodeHealth::Down);
+        assert!(plan.health(0, 10.0).is_up(), "other nodes are untouched");
+    }
+
+    #[test]
+    fn scripted_crash_with_recovery_rejoins() {
+        let plan = NodeFaultPlan {
+            crashes: vec![NodeCrash { node: 0, at_s: 5.0, recover_s: Some(25.0) }],
+            ..NodeFaultPlan::none()
+        };
+        assert!(plan.health(0, 4.0).is_up());
+        assert_eq!(plan.health(0, 5.0), NodeHealth::Down);
+        assert_eq!(plan.health(0, 24.9), NodeHealth::Down);
+        assert!(plan.health(0, 25.0).is_up());
+    }
+
+    #[test]
+    fn outage_window_is_half_open() {
+        let plan = NodeFaultPlan {
+            outages: vec![NodeOutage { node: 2, start_s: 30.0, end_s: 60.0 }],
+            ..NodeFaultPlan::none()
+        };
+        assert!(plan.health(2, 29.9).is_up());
+        assert_eq!(plan.health(2, 30.0), NodeHealth::Down);
+        assert_eq!(plan.health(2, 59.9), NodeHealth::Down);
+        assert!(plan.health(2, 60.0).is_up());
+    }
+
+    #[test]
+    fn degrade_reports_capacity_and_down_dominates() {
+        let plan = NodeFaultPlan {
+            crashes: vec![NodeCrash { node: 0, at_s: 50.0, recover_s: None }],
+            degrades: vec![NodeDegrade { node: 0, start_s: 10.0, end_s: 90.0, capacity: 0.5 }],
+            ..NodeFaultPlan::none()
+        };
+        assert_eq!(plan.health(0, 20.0), NodeHealth::Degraded(0.5));
+        assert!((plan.health(0, 20.0).capacity() - 0.5).abs() < 1e-12);
+        assert_eq!(plan.health(0, 60.0), NodeHealth::Down, "crash wins over degrade");
+    }
+
+    #[test]
+    fn churn_is_deterministic_per_seed_and_varies_across_seeds() {
+        let schedule = |seed: u64| -> Vec<bool> {
+            let plan = NodeFaultPlan::churn_at_rate(seed, 0.3);
+            (0..600).map(|t| plan.health(1, t as f64).is_up()).collect()
+        };
+        let a = schedule(7);
+        assert_eq!(a, schedule(7), "same seed, same schedule");
+        assert!(a.iter().any(|up| !up), "30% churn must take the node down in 20 intervals");
+        assert!(a.iter().any(|up| *up), "20 s mean downtime cannot cover 600 s");
+        assert_ne!(a, schedule(8), "different seeds draw different schedules");
+    }
+
+    #[test]
+    fn churn_downtime_is_bounded_by_the_profile() {
+        // With crash_prob 1.0 every interval starts a crash; the node must
+        // still be up whenever no drawn downtime covers the instant, and
+        // every downtime must end within max_downtime of its interval start.
+        let plan = NodeFaultPlan::churn_at_rate(3, 1.0);
+        let churn = plan.churn.unwrap();
+        for t in 0..2000 {
+            let now = t as f64 * 0.5;
+            if plan.health(0, now) == NodeHealth::Down {
+                // Some interval start within max_downtime must precede it.
+                let reach = churn.max_downtime_s();
+                let k = (now / churn.interval_s).floor() * churn.interval_s;
+                assert!(now - k <= reach + churn.interval_s);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rate_churn_helper_is_none() {
+        assert!(NodeFaultPlan::churn_at_rate(9, 0.0).is_none());
+        assert!(!NodeFaultPlan::churn_at_rate(9, 0.1).is_none());
+    }
+
+    #[test]
+    fn plan_round_trips_through_serde() {
+        let plan = NodeFaultPlan {
+            seed: 42,
+            crashes: vec![NodeCrash { node: 0, at_s: 5.0, recover_s: Some(9.0) }],
+            outages: vec![NodeOutage { node: 1, start_s: 1.0, end_s: 2.0 }],
+            degrades: vec![NodeDegrade { node: 2, start_s: 3.0, end_s: 4.0, capacity: 0.7 }],
+            churn: Some(NodeChurnProfile {
+                crash_prob: 0.1,
+                interval_s: 30.0,
+                mean_downtime_s: 20.0,
+            }),
+        };
+        let back: NodeFaultPlan =
+            serde_json::from_str(&serde_json::to_string(&plan).unwrap()).unwrap();
+        assert_eq!(back, plan);
+    }
+}

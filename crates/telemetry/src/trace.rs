@@ -80,6 +80,10 @@ pub enum ActionKind {
     Repack,
     /// Warm-restart reconciliation repaired a drifted or overlapping layout.
     Repair,
+    /// The upper scheduler moved the service to another node (failover or
+    /// QoS migration): the destination launch committed before the source
+    /// replica was torn down.
+    Migrate,
 }
 
 /// An `(ActionKind, Provenance)` pair the instrumented call sites thread to
