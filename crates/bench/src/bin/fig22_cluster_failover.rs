@@ -1,8 +1,9 @@
 //! Fig. 22 (this reproduction's extension): cluster QoS compliance vs
 //! node-failure rate and fleet size, comparing the full failover stack
 //! (interference-aware re-placement of services stranded by dead nodes)
-//! against a score-only tier (better placement, no failover) and the
-//! legacy first-fit tier (no failover at all).
+//! against a score-only tier (better placement, no failover), the legacy
+//! first-fit tier (no failover at all) and a seeded random-placement
+//! baseline (the null hypothesis for the placement policy).
 //!
 //! Each cell churns a fleet under a seeded [`NodeFaultPlan`] for the run's
 //! duration and accounts demand-based compliance: evicted and rejected

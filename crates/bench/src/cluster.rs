@@ -21,6 +21,8 @@ use serde::{Deserialize, Serialize};
 /// Which tier of the fault-tolerance stack a run exercises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FailoverArm {
+    /// Null-hypothesis tier: seeded random placement, no failover.
+    RandomPlacement,
     /// Legacy tier: first-fit placement, node death evicts residents.
     NoFailover,
     /// Interference-aware placement only; still no failover on death.
@@ -31,12 +33,17 @@ pub enum FailoverArm {
 
 impl FailoverArm {
     /// All arms, in ablation order.
-    pub const ALL: [FailoverArm; 3] =
-        [FailoverArm::NoFailover, FailoverArm::ScoreOnly, FailoverArm::OsmlFailover];
+    pub const ALL: [FailoverArm; 4] = [
+        FailoverArm::RandomPlacement,
+        FailoverArm::NoFailover,
+        FailoverArm::ScoreOnly,
+        FailoverArm::OsmlFailover,
+    ];
 
     /// Short label for tables and JSON.
     pub fn label(self) -> &'static str {
         match self {
+            FailoverArm::RandomPlacement => "random-placement",
             FailoverArm::NoFailover => "no-failover",
             FailoverArm::ScoreOnly => "score-only",
             FailoverArm::OsmlFailover => "osml-failover",
@@ -45,6 +52,12 @@ impl FailoverArm {
 
     fn config(self, node_faults: NodeFaultPlan) -> ClusterConfig {
         match self {
+            FailoverArm::RandomPlacement => ClusterConfig {
+                failover: false,
+                policy: PlacementPolicy::Random,
+                node_faults,
+                ..ClusterConfig::default()
+            },
             FailoverArm::NoFailover => ClusterConfig {
                 failover: false,
                 policy: PlacementPolicy::FirstFit,

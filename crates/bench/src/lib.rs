@@ -13,6 +13,7 @@
 
 pub mod chaos;
 pub mod cluster;
+pub mod control;
 pub mod grid;
 pub mod overload;
 pub mod perf;

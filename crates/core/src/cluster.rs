@@ -1,5 +1,5 @@
-//! The upper-level scheduler the paper keeps referring to — now fault
-//! tolerant.
+//! The upper-level scheduler the paper keeps referring to — now
+//! partition tolerant.
 //!
 //! OSML is a per-node controller: Algorithm 1 "reports to the upper
 //! scheduler about the scheduling policies", and Algorithm 4's fallback is
@@ -8,54 +8,82 @@
 //! own OSML instance, with placement across nodes and automatic migration
 //! of services a node cannot keep within QoS.
 //!
-//! Beyond the original first-fit tier, the cluster now survives the
-//! failures the single-node stack already models:
+//! Since the fault-tolerance tier, the cluster no longer calls into its
+//! nodes directly. Every interaction is a typed message over a
+//! [`ControlChannel`]: [`NodeCommand`] envelopes (launch / teardown /
+//! ping) flow out under per-node sequence numbers, [`NodeReply`]
+//! envelopes flow back. The default transport is a
+//! [`PerfectChannel`](osml_platform::PerfectChannel) — reliable, in-order,
+//! same-instant, and able to report a dead peer synchronously — under
+//! which the substrate call sequence is bit-identical to the direct-call
+//! cluster it replaced. A seeded
+//! [`LossyChannel`](osml_platform::LossyChannel) drops, delays,
+//! duplicates and partitions instead, and the protocol has to earn its
+//! keep:
 //!
-//! * **node faults** — a seeded, scriptable
-//!   [`NodeFaultPlan`](osml_platform::NodeFaultPlan) (crash, scheduled
-//!   outage, degraded capacity, churn) drives per-node health; every node's
-//!   substrate is wrapped in a [`FaultySubstrate`] (bit-transparent under a
-//!   none plan) so call-level actuation faults compose with whole-node ones,
-//! * **failover** — when a node dies, its services are re-placed onto
-//!   survivors ranked by an interference-aware score
-//!   ([`PlacementPolicy::InterferenceScore`]); services that fit nowhere
-//!   become typed [`ServiceDisposition::Evicted`] outcomes, never silent
-//!   drops,
-//! * **resilient migrations** — the destination launch commits first
-//!   (retrying transient install faults through
-//!   [`crate::resilience::Retrying`]), only then is the source replica torn
-//!   down, so a mid-migration failure leaves the service exactly where it
-//!   was; per-service migration budgets stop churn-induced thrashing, and
-//!   every migration destination pays an explicit warm-up cost during
-//!   which the violation clock is suspended,
-//! * **golden thread** — cluster runs append to their own
-//!   [`UnifiedLog`]: `NodeFailed`/`NodeRecovered` world facts, per-service
-//!   `Removed`/`Launched` transitions and `MigrationRequested`/`Alloc`
-//!   decisions, strict enough for [`UnifiedLog::replay`] to fold without
-//!   error.
+//! * **at-least-once commands** — every RPC retries under the same
+//!   sequence number with exponential backoff; node agents deduplicate by
+//!   [`SeqWindow`] and re-acknowledge from a reply cache, so a duplicated
+//!   `Launch` places exactly one replica,
+//! * **epoch fencing** — each placement attempt carries a fresh epoch;
+//!   nodes refuse any epoch not strictly newer than the highest they have
+//!   seen for the id, and teardowns are epoch-exact, so a delayed
+//!   `Migrate`/`Launch` can never double-place a service and a delayed
+//!   teardown can never kill its successor replica. Acknowledged-late
+//!   launches become *ghost replicas* that are fenced off (torn down by
+//!   exact epoch) as soon as the link allows,
+//! * **failure suspicion, not omniscience** — node health is inferred
+//!   from heartbeat timeouts. Suspicion is belief: a partitioned node is
+//!   indistinguishable from a dead one, so false suspicions happen, and a
+//!   "dead" node that reconnects still hosting services is reconciled by
+//!   epoch comparison — current-epoch replicas of evicted services are
+//!   re-adopted ([`LaunchCause::Readopted`]), stale ones fenced,
+//! * **destination-commit-first migration** — unchanged from the
+//!   fault-tolerance tier, but now the source teardown is a fenced,
+//!   at-least-once command that survives a mid-flight partition: until
+//!   the epoch-exact ack arrives the teardown stays pending and is
+//!   re-sent every step,
+//! * **golden thread** — transport faults (`MessageDropped`,
+//!   `MessageDuplicated`), partition windows (`PartitionStarted`/
+//!   `PartitionHealed`) and belief transitions (`NodeSuspected`/
+//!   `NodeSuspicionCleared`) are world facts in the cluster's
+//!   [`UnifiedLog`], strict enough for [`UnifiedLog::replay`] to fold
+//!   without error.
 //!
-//! With the default [`ClusterConfig`] (no faults, first-fit, no cluster
-//! log consumers) the substrate call sequence is bit-identical to the
-//! pre-failover cluster.
+//! The conservation ledger is exact under all of it: every id ever issued
+//! has exactly one disposition, no matter what the channel does.
 
-use crate::resilience::Retrying;
+use crate::resilience::{RetryPolicy, Retrying};
 use crate::{
     ClusterConfig, Decision, EventBody, LaunchCause, OsmlConfig, OsmlScheduler, PlacementPolicy,
     RemovalCause, TelemetryNote, UnifiedLog, WorldFact,
 };
 use osml_platform::{
-    Allocation, AppId, FaultPlan, FaultySubstrate, Placement, RejectReason, Scheduler, SloClass,
-    Substrate,
+    hash01, Allocation, AppId, Channel, ChannelStats, ControlChannel, Envelope, FaultPlan,
+    FaultySubstrate, NodeCommand, NodeReply, Placement, RejectReason, Scheduler, SeqWindow,
+    SloClass, Substrate,
 };
 use osml_telemetry::{ActionKind, Provenance};
 use osml_workloads::{LaunchSpec, Service, SimConfig, SimServer};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// One cluster node: the analytic simulator behind the (possibly
 /// transparent) call-level fault decorator.
 type Node = FaultySubstrate<SimServer>;
+
+/// Commands carry the workload launch payload.
+type Command = NodeCommand<LaunchSpec>;
+
+/// Channel-salt for the command direction (folded into the plan seed so
+/// the two directions draw independent fault streams).
+const CMD_CHANNEL_SALT: u64 = 0x0C;
+/// Channel-salt for the reply direction.
+const REPLY_CHANNEL_SALT: u64 = 0x0D;
+/// Decision-hash salt for the random-placement baseline; disjoint from
+/// the platform fault salts (1–5, 101–102, 201–205).
+const PLACEMENT_SALT: u64 = 211;
 
 /// A service's location in the cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -84,12 +112,21 @@ pub enum ClusterPlacement {
 pub enum ClusterError {
     /// A cluster needs at least one node.
     NoNodes,
+    /// The [`ClusterConfig`] fails validation (see
+    /// [`ClusterConfig::validate`]); the reason says which rule.
+    InvalidConfig {
+        /// Human-readable rule that was violated.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for ClusterError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClusterError::NoNodes => write!(f, "cluster needs at least one node"),
+            ClusterError::InvalidConfig { reason } => {
+                write!(f, "invalid cluster config: {reason}")
+            }
         }
     }
 }
@@ -116,6 +153,10 @@ pub enum ServiceDisposition {
 struct Tracked {
     handle: ServiceHandle,
     spec: LaunchSpec,
+    /// Placement epoch of the replica this entry tracks (the fencing
+    /// token: teardown targets exactly this epoch, and any launch ack
+    /// carrying a different epoch is a ghost).
+    epoch: u64,
     violating_since: Option<f64>,
     /// Destination-node time until which the violation clock is suspended
     /// (the paid migration warm-up window).
@@ -123,10 +164,231 @@ struct Tracked {
     /// QoS-violation migration attempts consumed (the anti-thrash budget;
     /// node-death failover is never budget-limited).
     migrations_used: u32,
+    /// Cluster clock when this replica committed; pong snapshots taken
+    /// before it cannot vote on its existence.
+    settled_s: f64,
+}
+
+/// A service evicted while its node was merely *suspected* dead. If the
+/// node reconnects still hosting the current-epoch replica, the service
+/// is re-adopted instead of fenced.
+#[derive(Debug, Clone)]
+struct Parked {
+    spec: LaunchSpec,
+    epoch: u64,
+    migrations_used: u32,
+}
+
+/// An epoch-exact teardown that has not been acknowledged yet. Re-sent
+/// every step (same sequence number, so the node-side window dedups)
+/// until its [`NodeReply::TornDown`] arrives.
+#[derive(Debug, Clone, Copy)]
+struct PendingTeardown {
+    node: usize,
+    id: u64,
+    epoch: u64,
+    seq: u64,
+}
+
+/// The node-side half of the control protocol: one per node, owning the
+/// substrate and the local OSML controller. Executes commands delivered
+/// by the channel, never called directly by placement logic.
+#[derive(Debug)]
+struct NodeAgent {
+    index: usize,
+    node: Node,
+    scheduler: OsmlScheduler,
+    /// Ground truth: the node's processes are running. Distinct from the
+    /// cluster's *suspicion* of it.
+    alive: bool,
+    /// Chaos-hook override, authoritative only under a none fault plan.
+    forced_down: bool,
+    /// Whether resilient launches route through [`Retrying`] (precomputed:
+    /// the actuation profile is non-none).
+    resilient_installs: bool,
+    /// Self-measured capacity factor, refreshed from the fault plan while
+    /// alive; reported in pongs.
+    capacity: f64,
+    /// Resident replicas as `(cluster id, app, epoch)`, in arrival order.
+    residents: Vec<(u64, AppId, u64)>,
+    /// Highest epoch seen per id — the fence. Volatile: dies with the node.
+    fence: BTreeMap<u64, u64>,
+    /// Command-sequence dedup window. Volatile.
+    seen: SeqWindow,
+    /// Replies by sequence number, for duplicate re-acks. Volatile.
+    reply_cache: BTreeMap<u64, NodeReply>,
+}
+
+impl NodeAgent {
+    /// The node dies: residents drain (their processes die with it) and
+    /// all volatile protocol state — fences, dedup window, reply cache —
+    /// is lost. Returns the drained residents for ledger bookkeeping.
+    fn crash(&mut self) -> Vec<(u64, AppId, u64)> {
+        self.alive = false;
+        let drained: Vec<(u64, AppId, u64)> = self.residents.drain(..).collect();
+        for &(_, app, _) in &drained {
+            let _ = self.node.remove(app);
+            self.scheduler.on_departure(app);
+        }
+        self.fence.clear();
+        self.seen.clear();
+        self.reply_cache.clear();
+        drained
+    }
+
+    /// One monitoring step of node-local time. A partitioned-but-alive
+    /// node keeps running its own controller — local autonomy is the
+    /// whole point of the per-node OSML design.
+    fn step(&mut self) {
+        self.node.advance(1.0);
+        if self.alive {
+            self.scheduler.tick(&mut self.node);
+        }
+    }
+
+    /// Executes one delivered command. `None` means silence (the node is
+    /// dead); the transport decides whether silence is observable.
+    /// With `fencing` the agent dedups by sequence number (re-acking
+    /// duplicates from the cache) and enforces epoch fences; the ablation
+    /// arm switches all of that off.
+    fn handle(
+        &mut self,
+        env: Envelope<Command>,
+        now_s: f64,
+        fencing: bool,
+        policy: &RetryPolicy,
+    ) -> Option<NodeReply> {
+        if !self.alive {
+            return None;
+        }
+        // Pings are idempotent reads: they bypass dedup and the reply
+        // cache so every delivery — duplicates included — is answered
+        // with a *current* snapshot, never a stale cached one. Dedup and
+        // caching exist for the effectful commands below.
+        if let Command::Ping = env.msg {
+            return Some(NodeReply::Pong {
+                node: self.index,
+                at_s: now_s,
+                capacity: self.capacity,
+                residents: self.residents.clone(),
+            });
+        }
+        if fencing && !self.seen.fresh(env.seq) {
+            // Duplicate delivery: re-acknowledge idempotently. A pruned
+            // cache entry degrades to silence, which the sender's retry
+            // loop already tolerates.
+            return self.reply_cache.get(&env.seq).cloned();
+        }
+        let reply = match env.msg {
+            Command::Ping => unreachable!("answered above"),
+            Command::Launch { id, epoch, spec, resilient } => {
+                self.handle_launch(id, epoch, spec, resilient, fencing, policy)
+            }
+            Command::Teardown { id, epoch } => self.handle_teardown(id, epoch, fencing),
+        };
+        if fencing {
+            self.reply_cache.insert(env.seq, reply.clone());
+            while self.reply_cache.len() > 1024 {
+                self.reply_cache.pop_first();
+            }
+        }
+        Some(reply)
+    }
+
+    /// The launch path: fence check, bootstrap actuation (resilient
+    /// installs retry through [`Retrying`] and roll back on exhaustion),
+    /// then the local controller's admission. Identical call sequence to
+    /// the pre-protocol `try_place`.
+    fn handle_launch(
+        &mut self,
+        id: u64,
+        epoch: u64,
+        spec: LaunchSpec,
+        resilient: bool,
+        fencing: bool,
+        policy: &RetryPolicy,
+    ) -> NodeReply {
+        if fencing {
+            let top = self.fence.get(&id).copied().unwrap_or(0);
+            if epoch <= top {
+                return NodeReply::Fenced { id, epoch };
+            }
+            self.fence.insert(id, epoch);
+        }
+        let bootstrap = crate::bootstrap::bootstrap_allocation(&mut self.node, spec.threads);
+        let Ok(app) = self.node.inner_mut().launch(spec, bootstrap) else {
+            return NodeReply::LaunchFailed { id, epoch, retried: Vec::new(), gave_up: false };
+        };
+        let mut retried: Vec<(u32, f64)> = Vec::new();
+        let mut gave_up = false;
+        if resilient && self.resilient_installs {
+            let installed;
+            let stats;
+            {
+                let mut retrying = Retrying::new(
+                    &mut self.node,
+                    policy.budget,
+                    policy.backoff_base_ms,
+                    policy.max_backoff_ms,
+                );
+                installed = retrying.reallocate(app, bootstrap);
+                stats = retrying.take_stats();
+            }
+            for (_, attempts, backoff_ms) in stats.retried {
+                retried.push((attempts, backoff_ms));
+            }
+            gave_up = stats.persistent > 0;
+            if installed.is_err() {
+                // Roll the half-launched replica back; teardown goes
+                // through the OS, not the faulted actuation path.
+                let _ = self.node.remove(app);
+                return NodeReply::LaunchFailed { id, epoch, retried, gave_up };
+            }
+        }
+        self.node.advance(1.0);
+        match self.scheduler.on_arrival(&mut self.node, app) {
+            Placement::Placed => {
+                let post = self.node.allocation(app).unwrap_or(bootstrap);
+                self.residents.push((id, app, epoch));
+                NodeReply::Launched { id, epoch, app, post, retried, gave_up }
+            }
+            Placement::Rejected(_) | Placement::Deferred { .. } => {
+                // The cluster tier has no arrival queue of its own: a node
+                // that defers is treated as full and the next node is tried.
+                let _ = self.node.remove(app);
+                self.scheduler.on_departure(app);
+                NodeReply::LaunchFailed { id, epoch, retried, gave_up }
+            }
+        }
+    }
+
+    /// Epoch-exact teardown (fencing) or by-id teardown (ablation).
+    /// Idempotent either way: a miss acknowledges with `removed: false`.
+    fn handle_teardown(&mut self, id: u64, epoch: u64, fencing: bool) -> NodeReply {
+        let pos = if fencing {
+            self.residents.iter().position(|&(rid, _, re)| rid == id && re == epoch)
+        } else {
+            self.residents.iter().position(|&(rid, _, _)| rid == id)
+        };
+        match pos {
+            Some(p) => {
+                let (_, app, _) = self.residents.remove(p);
+                let _ = self.node.remove(app);
+                self.scheduler.on_departure(app);
+                if fencing {
+                    let top = self.fence.entry(id).or_insert(0);
+                    *top = (*top).max(epoch);
+                }
+                NodeReply::TornDown { id, epoch, removed: true }
+            }
+            None => NodeReply::TornDown { id, epoch, removed: false },
+        }
+    }
 }
 
 /// A fleet of OSML-managed servers with an upper-level placement,
-/// migration and failover policy.
+/// migration and failover policy, speaking a fault-injectable control
+/// protocol to its nodes.
 ///
 /// # Example
 ///
@@ -143,11 +405,34 @@ struct Tracked {
 /// ```
 #[derive(Debug)]
 pub struct Cluster {
-    nodes: Vec<Node>,
-    schedulers: Vec<OsmlScheduler>,
-    /// Health as of the last [`Cluster::run`] step (index-parallel to
-    /// `nodes`).
-    up: Vec<bool>,
+    agents: Vec<NodeAgent>,
+    /// Belief, not ground truth: the cluster suspects node i is dead.
+    /// Index-parallel to `agents`, as are the heartbeat vectors below.
+    suspected: Vec<bool>,
+    /// Last cluster-clock instant a fresh pong arrived per node.
+    last_heard: Vec<f64>,
+    /// Last cluster-clock instant a ping was sent per node.
+    last_ping: Vec<f64>,
+    /// Last known capacity per node (ambient gauge under a reliable
+    /// transport, pong-reported under a lossy one).
+    capacity: Vec<f64>,
+    /// Partition-window membership as of the last step, for transition
+    /// facts.
+    partitioned: Vec<bool>,
+    cmd_channel: Channel<Command>,
+    reply_channel: Channel<NodeReply>,
+    /// Next command sequence number per node.
+    next_seq: Vec<u64>,
+    /// Unacknowledged epoch-exact teardowns, re-sent every step.
+    pending_teardowns: Vec<PendingTeardown>,
+    /// Suspicion-evicted services kept for re-adoption at heal.
+    parked: BTreeMap<u64, Parked>,
+    /// Latest issued placement epoch per id.
+    epochs: BTreeMap<u64, u64>,
+    /// Tracked ids whose replica death was already ledgered
+    /// (`Removed { NodeFailure }`) but whose suspicion has not resolved
+    /// yet — suppresses a double removal fact at finish.
+    physically_gone: BTreeSet<u64>,
     services: Vec<Tracked>,
     /// Conservation ledger: every issued id, exactly one disposition.
     dispositions: BTreeMap<u64, ServiceDisposition>,
@@ -157,6 +442,14 @@ pub struct Cluster {
     evictions: usize,
     migrations_suppressed: usize,
     warmup_charged_s: f64,
+    suspicions: usize,
+    false_suspicions: usize,
+    readopted: usize,
+    fenced_ghosts: usize,
+    /// Total backoff charged by command-level (transport) retries, ms.
+    command_backoff_ms: f64,
+    /// Monotone counter behind the random-placement baseline's draws.
+    placement_draws: u64,
     /// Cluster wall clock (steps of [`Cluster::run`]); node clocks run
     /// slightly ahead because placement profiling advances them.
     clock: f64,
@@ -164,6 +457,7 @@ pub struct Cluster {
     log: UnifiedLog,
     config: OsmlConfig,
     cluster_cfg: ClusterConfig,
+    seed: u64,
     /// Seconds of continuous violation before the upper scheduler migrates
     /// a service away from its node. Mirrors
     /// [`ClusterConfig::migration_patience_s`] at construction; kept
@@ -174,7 +468,8 @@ pub struct Cluster {
 impl Cluster {
     /// Builds a cluster of `n` identical nodes, each driven by a clone of
     /// the (trained) `scheduler` template, under the default
-    /// [`ClusterConfig`] (no faults, legacy first-fit placement).
+    /// [`ClusterConfig`] (no faults, perfect channel, legacy first-fit
+    /// placement).
     ///
     /// # Panics
     ///
@@ -188,7 +483,9 @@ impl Cluster {
     ///
     /// # Errors
     ///
-    /// [`ClusterError::NoNodes`] when `n == 0`.
+    /// [`ClusterError::NoNodes`] when `n == 0`;
+    /// [`ClusterError::InvalidConfig`] when the config fails
+    /// [`ClusterConfig::validate`].
     pub fn try_new(
         n: usize,
         scheduler: OsmlScheduler,
@@ -199,7 +496,11 @@ impl Cluster {
         if n == 0 {
             return Err(ClusterError::NoNodes);
         }
-        let nodes = (0..n)
+        if let Err(reason) = cluster_cfg.validate() {
+            return Err(ClusterError::InvalidConfig { reason });
+        }
+        let resilient_installs = !cluster_cfg.actuation_faults.profile.is_none();
+        let agents: Vec<NodeAgent> = (0..n)
             .map(|i| {
                 let server = SimServer::new(SimConfig {
                     seed: seed ^ (i as u64) << 32,
@@ -211,24 +512,35 @@ impl Cluster {
                     seed: cluster_cfg.actuation_faults.seed ^ ((i as u64) << 16),
                     profile: cluster_cfg.actuation_faults.profile.clone(),
                 };
-                FaultySubstrate::new(server, plan)
+                NodeAgent {
+                    index: i,
+                    node: FaultySubstrate::new(server, plan),
+                    scheduler: scheduler.clone().with_config(config.clone()),
+                    alive: true,
+                    forced_down: false,
+                    resilient_installs,
+                    capacity: cluster_cfg.node_faults.health(i, 0.0).capacity(),
+                    residents: Vec::new(),
+                    fence: BTreeMap::new(),
+                    seen: SeqWindow::new(),
+                    reply_cache: BTreeMap::new(),
+                }
             })
             .collect();
-        let schedulers = (0..n).map(|_| scheduler.clone().with_config(config.clone())).collect();
-        let mut log = UnifiedLog::new();
-        let mut up = vec![true; n];
-        for (i, slot) in up.iter_mut().enumerate() {
-            if !cluster_cfg.node_faults.is_none() && !cluster_cfg.node_faults.health(i, 0.0).is_up()
-            {
-                *slot = false;
-                log.push(0, 0.0, None, EventBody::World(WorldFact::NodeFailed { node: i }));
-            }
-        }
-        let migration_patience_s = cluster_cfg.migration_patience_s;
-        Ok(Cluster {
-            nodes,
-            schedulers,
-            up,
+        let mut cluster = Cluster {
+            suspected: vec![false; n],
+            last_heard: vec![0.0; n],
+            last_ping: vec![f64::NEG_INFINITY; n],
+            capacity: (0..n).map(|i| cluster_cfg.node_faults.health(i, 0.0).capacity()).collect(),
+            partitioned: vec![false; n],
+            cmd_channel: Channel::from_plan(&cluster_cfg.channel, CMD_CHANNEL_SALT),
+            reply_channel: Channel::from_plan(&cluster_cfg.channel, REPLY_CHANNEL_SALT),
+            next_seq: vec![0; n],
+            pending_teardowns: Vec::new(),
+            parked: BTreeMap::new(),
+            epochs: BTreeMap::new(),
+            physically_gone: BTreeSet::new(),
+            agents,
             services: Vec::new(),
             dispositions: BTreeMap::new(),
             next_id: 0,
@@ -237,23 +549,40 @@ impl Cluster {
             evictions: 0,
             migrations_suppressed: 0,
             warmup_charged_s: 0.0,
+            suspicions: 0,
+            false_suspicions: 0,
+            readopted: 0,
+            fenced_ghosts: 0,
+            command_backoff_ms: 0.0,
+            placement_draws: 0,
             clock: 0.0,
             tick: 0,
-            log,
+            log: UnifiedLog::new(),
+            migration_patience_s: cluster_cfg.migration_patience_s,
             config,
             cluster_cfg,
-            migration_patience_s,
-        })
+            seed,
+        };
+        for i in 0..n {
+            if !cluster.cluster_cfg.node_faults.is_none()
+                && !cluster.cluster_cfg.node_faults.health(i, 0.0).is_up()
+            {
+                cluster.agents[i].alive = false;
+                cluster.suspected[i] = true;
+                cluster.log.push(0, 0.0, None, EventBody::World(WorldFact::NodeFailed { node: i }));
+            }
+        }
+        Ok(cluster)
     }
 
     /// Number of nodes.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.agents.len()
     }
 
     /// Whether the cluster has no nodes (never true; see [`Cluster::try_new`]).
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.agents.is_empty()
     }
 
     /// QoS-violation migrations committed so far.
@@ -281,6 +610,65 @@ impl Cluster {
         self.warmup_charged_s
     }
 
+    /// Times the cluster transitioned into suspecting a node dead.
+    pub fn suspicions(&self) -> usize {
+        self.suspicions
+    }
+
+    /// Suspicions raised against nodes that were in fact alive (merely
+    /// partitioned) — ground-truth bookkeeping the protocol itself never
+    /// sees, exported for harness metrics.
+    pub fn false_suspicions(&self) -> usize {
+        self.false_suspicions
+    }
+
+    /// Services re-adopted from a reconnecting node instead of fenced.
+    pub fn readopted(&self) -> usize {
+        self.readopted
+    }
+
+    /// Stale replicas destroyed by epoch fencing after late delivery.
+    pub fn fenced_ghosts(&self) -> usize {
+        self.fenced_ghosts
+    }
+
+    /// Total backoff charged to command-level (transport) retries, ms.
+    pub fn command_backoff_ms(&self) -> f64 {
+        self.command_backoff_ms
+    }
+
+    /// Live replicas that do not match any tracked `(id, node, epoch)` —
+    /// ghosts awaiting fencing (or re-adoption). Zero under the full
+    /// protocol once links heal; the no-fencing ablation accumulates them.
+    pub fn ghost_replicas(&self) -> usize {
+        let total: usize = self.agents.iter().map(|a| a.residents.len()).sum();
+        // Each tracked service accounts for at most one physical replica;
+        // every resident beyond that — wrong epoch, wrong node, or a
+        // same-epoch double-place — is a ghost.
+        let matched = self
+            .services
+            .iter()
+            .filter(|t| {
+                self.agents[t.handle.node]
+                    .residents
+                    .iter()
+                    .any(|&(id, _, e)| id == t.handle.id && e == t.epoch)
+            })
+            .count();
+        total - matched
+    }
+
+    /// Physical replica count of a cluster id across all nodes (exactly
+    /// one for a running service under the full protocol).
+    pub fn replicas_of(&self, id: u64) -> usize {
+        self.agents.iter().flat_map(|a| a.residents.iter()).filter(|r| r.0 == id).count()
+    }
+
+    /// Cumulative transport fault counters as `(commands, replies)`.
+    pub fn channel_stats(&self) -> (ChannelStats, ChannelStats) {
+        (self.cmd_channel.stats(), self.reply_channel.stats())
+    }
+
     /// Cluster ids issued so far (every one has a disposition).
     pub fn submitted(&self) -> u64 {
         self.next_id
@@ -296,9 +684,11 @@ impl Cluster {
         self.dispositions.iter().map(|(&id, &d)| (id, d)).collect()
     }
 
-    /// Whether `node` is currently up (always true without a fault plan).
+    /// Whether the cluster currently *believes* `node` is up. Under a
+    /// lossy channel this is heartbeat-derived suspicion and can be
+    /// wrong in both directions for a few seconds.
     pub fn node_is_up(&self, node: usize) -> bool {
-        self.up[node]
+        !self.suspected[node]
     }
 
     /// The cluster tier's own golden-thread log (per-node controller
@@ -314,17 +704,537 @@ impl Cluster {
 
     /// Sum of scheduling actions across all node controllers.
     pub fn total_actions(&self) -> usize {
-        self.schedulers.iter().map(|s| s.action_count()).sum()
+        self.agents.iter().map(|a| a.scheduler.action_count()).sum()
     }
 
-    /// Candidate nodes for a placement, best first: up nodes only (minus
-    /// `exclude`), ranked by the configured [`PlacementPolicy`].
-    fn candidates(&self, exclude: Option<usize>) -> Vec<usize> {
+    // ---- control-plane plumbing -------------------------------------
+
+    fn alloc_seq(&mut self, node: usize) -> u64 {
+        let seq = self.next_seq[node];
+        self.next_seq[node] += 1;
+        seq
+    }
+
+    fn command_policy(&self) -> RetryPolicy {
+        RetryPolicy {
+            budget: self.config.actuation_retry_budget,
+            backoff_base_ms: self.config.retry_backoff_base_ms,
+            max_backoff_ms: self.config.max_backoff_ms,
+        }
+    }
+
+    /// Sends one command copy and records any transport fault as world
+    /// facts (partition drops are covered by the window facts instead).
+    fn send_command(&mut self, node: usize, seq: u64, cmd: Command) {
+        let report = self.cmd_channel.send(node, seq, self.clock, cmd);
+        if report.dropped {
+            self.log.push(
+                self.tick,
+                self.clock,
+                None,
+                EventBody::World(WorldFact::MessageDropped { node, seq }),
+            );
+        }
+        if report.duplicated {
+            self.log.push(
+                self.tick,
+                self.clock,
+                None,
+                EventBody::World(WorldFact::MessageDuplicated { node, seq }),
+            );
+        }
+    }
+
+    /// Delivers every due command on `node`'s link to its agent and
+    /// queues the agent's replies (or a synchronous `Unreachable` verdict
+    /// when a reliable transport hits a dead peer).
+    fn pump_node(&mut self, node: usize) {
+        let due = self.cmd_channel.deliver(node, self.clock);
+        if due.is_empty() {
+            return;
+        }
+        let fencing = self.cluster_cfg.fencing;
+        let policy = self.command_policy();
+        for env in due {
+            let seq = env.seq;
+            match self.agents[node].handle(env, self.clock, fencing, &policy) {
+                Some(reply) => {
+                    let report = self.reply_channel.send(node, seq, self.clock, reply);
+                    if report.dropped {
+                        self.log.push(
+                            self.tick,
+                            self.clock,
+                            None,
+                            EventBody::World(WorldFact::MessageDropped { node, seq }),
+                        );
+                    }
+                    if report.duplicated {
+                        self.log.push(
+                            self.tick,
+                            self.clock,
+                            None,
+                            EventBody::World(WorldFact::MessageDuplicated { node, seq }),
+                        );
+                    }
+                }
+                None => {
+                    if self.cmd_channel.detects_dead_peer() {
+                        // Connection refused: a reliable transport reports
+                        // the dead peer instead of leaving silence.
+                        let _ = self.reply_channel.send(
+                            node,
+                            seq,
+                            self.clock,
+                            NodeReply::Unreachable { node },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Delivers and dispatches every due reply on `node`'s link.
+    fn drain_replies(&mut self, node: usize) {
+        let due = self.reply_channel.deliver(node, self.clock);
+        for env in due {
+            self.dispatch_reply(env);
+        }
+    }
+
+    /// Handles a reply nobody is synchronously waiting for: heartbeat
+    /// pongs, transport verdicts, and — the interesting ones — late acks
+    /// of commands whose RPC already gave up.
+    fn dispatch_reply(&mut self, env: Envelope<NodeReply>) {
+        match env.msg {
+            NodeReply::Pong { node, at_s, capacity, residents } => {
+                self.on_pong(node, at_s, capacity, &residents);
+            }
+            NodeReply::Unreachable { node } => {
+                if !self.suspected[node] {
+                    self.suspect(node);
+                }
+            }
+            NodeReply::Launched { id, epoch, .. } => {
+                // A launch ack that outlived its RPC: the replica exists
+                // but was never committed — a ghost. Fence it by exact
+                // epoch (unless it happens to be the authoritative one,
+                // e.g. a duplicated ack of a committed launch).
+                let current = self.services.iter().find(|t| t.handle.id == id).map(|t| t.epoch);
+                if self.cluster_cfg.fencing && current != Some(epoch) {
+                    self.schedule_teardown(env.link, id, epoch);
+                }
+            }
+            NodeReply::TornDown { id, epoch, removed } => {
+                let before = self.pending_teardowns.len();
+                self.pending_teardowns
+                    .retain(|p| !(p.node == env.link && p.id == id && p.epoch == epoch));
+                if removed && self.pending_teardowns.len() < before {
+                    self.fenced_ghosts += 1;
+                    self.log.push(
+                        self.tick,
+                        self.clock,
+                        Some(id),
+                        EventBody::World(WorldFact::Removed { cause: RemovalCause::Fenced }),
+                    );
+                }
+            }
+            NodeReply::LaunchFailed { .. } | NodeReply::Fenced { .. } => {}
+        }
+    }
+
+    /// One bounded at-least-once RPC: sends `cmd` under a fresh sequence
+    /// number, pumps the link, and waits (within the current instant) for
+    /// the matching reply, re-sending under the same sequence number with
+    /// backoff until the command budget runs out. Non-matching replies
+    /// that surface meanwhile are dispatched normally.
+    fn rpc(&mut self, node: usize, cmd: Command) -> Option<NodeReply> {
+        let seq = self.alloc_seq(node);
+        let policy = self.command_policy();
+        let max_attempts = policy.budget + 1;
+        let mut backoff_ms = 0.0;
+        let mut attempts: u32 = 0;
+        let mut result: Option<NodeReply> = None;
+        while result.is_none() && attempts < max_attempts {
+            attempts += 1;
+            self.send_command(node, seq, cmd.clone());
+            self.pump_node(node);
+            for env in self.reply_channel.deliver(node, self.clock) {
+                if env.seq == seq {
+                    // First match completes the RPC; duplicate copies of
+                    // the same ack are swallowed here, not dispatched.
+                    if result.is_none() {
+                        result = Some(env.msg);
+                    }
+                } else {
+                    self.dispatch_reply(env);
+                }
+            }
+            if result.is_none() && attempts < max_attempts {
+                backoff_ms = policy.charge(attempts, backoff_ms);
+            }
+        }
+        if attempts > 1 {
+            self.command_backoff_ms += backoff_ms;
+            if result.is_some() {
+                self.log.push(
+                    self.tick,
+                    self.clock,
+                    None,
+                    EventBody::Telemetry(TelemetryNote::MessageRetried { attempts, backoff_ms }),
+                );
+            }
+        }
+        result
+    }
+
+    /// Registers (and immediately sends) an epoch-exact teardown that
+    /// must eventually be acknowledged; deduplicated per
+    /// `(node, id, epoch)`, re-sent every step until its ack arrives.
+    fn schedule_teardown(&mut self, node: usize, id: u64, epoch: u64) {
+        if self.pending_teardowns.iter().any(|p| p.node == node && p.id == id && p.epoch == epoch) {
+            return;
+        }
+        let seq = self.alloc_seq(node);
+        self.pending_teardowns.push(PendingTeardown { node, id, epoch, seq });
+        self.send_command(node, seq, Command::Teardown { id, epoch });
+        self.pump_node(node);
+        self.drain_replies(node);
+    }
+
+    /// Re-sends every unacknowledged teardown (same sequence numbers, so
+    /// node-side dedup absorbs the repeats).
+    fn retry_pending(&mut self) {
+        if self.pending_teardowns.is_empty() {
+            return;
+        }
+        let pending: Vec<PendingTeardown> = self.pending_teardowns.clone();
+        let mut links: Vec<usize> = Vec::new();
+        for p in pending {
+            self.send_command(p.node, p.seq, Command::Teardown { id: p.id, epoch: p.epoch });
+            if !links.contains(&p.node) {
+                links.push(p.node);
+            }
+        }
+        for node in links {
+            self.pump_node(node);
+            self.drain_replies(node);
+        }
+    }
+
+    fn next_epoch(&mut self, id: u64) -> u64 {
+        let e = self.epochs.entry(id).or_insert(0);
+        *e += 1;
+        *e
+    }
+
+    // ---- heartbeats, suspicion, reconciliation ----------------------
+
+    /// Sends the periodic heartbeat probe and processes whatever comes
+    /// back within the instant.
+    fn heartbeat(&mut self, node: usize) {
+        if self.clock - self.last_ping[node] < self.cluster_cfg.heartbeat_interval_s {
+            return;
+        }
+        self.last_ping[node] = self.clock;
+        let seq = self.alloc_seq(node);
+        self.send_command(node, seq, Command::Ping);
+        self.pump_node(node);
+        self.drain_replies(node);
+    }
+
+    /// Heartbeat-timeout failure detection — only for transports that
+    /// cannot prove a dead peer. Silence past the timeout turns into
+    /// suspicion, rightly or wrongly.
+    fn check_timeout(&mut self, node: usize) {
+        if self.cmd_channel.detects_dead_peer() {
+            return;
+        }
+        if !self.suspected[node]
+            && self.clock - self.last_heard[node] >= self.cluster_cfg.heartbeat_timeout_s
+        {
+            self.suspect(node);
+        }
+    }
+
+    /// A fresh pong: liveness proof, capacity gauge, and — with fencing —
+    /// the discovery list reconciliation runs on.
+    fn on_pong(&mut self, node: usize, at_s: f64, capacity: f64, residents: &[(u64, AppId, u64)]) {
+        if at_s < self.last_heard[node] {
+            // A delayed pong superseded by a fresher one: its snapshot
+            // must not vote on anything.
+            return;
+        }
+        self.last_heard[node] = self.clock;
+        if !self.cmd_channel.detects_dead_peer() {
+            self.capacity[node] = capacity;
+        }
+        if self.suspected[node] {
+            self.clear_suspicion(node, residents);
+        } else if self.cluster_cfg.fencing {
+            self.rehome_missing(node, at_s, residents);
+        }
+    }
+
+    /// The cluster now believes `node` is dead: every service tracked
+    /// there is stranded and failed over (or evicted — parked for
+    /// re-adoption, since the belief may be wrong).
+    fn suspect(&mut self, node: usize) {
+        self.suspected[node] = true;
+        self.suspicions += 1;
+        if self.agents[node].alive {
+            self.false_suspicions += 1;
+        }
+        if !self.cmd_channel.detects_dead_peer() {
+            self.log.push(
+                self.tick,
+                self.clock,
+                None,
+                EventBody::World(WorldFact::NodeSuspected { node }),
+            );
+        }
+        let mut stranded: Vec<Tracked> = Vec::new();
+        let mut idx = 0;
+        while idx < self.services.len() {
+            if self.services[idx].handle.node == node {
+                stranded.push(self.services.remove(idx));
+            } else {
+                idx += 1;
+            }
+        }
+        for t in stranded {
+            let id = t.handle.id;
+            if !self.physically_gone.remove(&id) {
+                // The replica's physical death was never ledgered — the
+                // node may in fact be alive. Record the *believed* loss so
+                // the fold's layouts track the authoritative view.
+                self.log.push(
+                    self.tick,
+                    self.clock,
+                    Some(id),
+                    EventBody::World(WorldFact::Removed { cause: RemovalCause::NodeFailure }),
+                );
+            }
+            if self.cluster_cfg.failover {
+                self.log.push(
+                    self.tick,
+                    self.clock,
+                    Some(id),
+                    EventBody::Decision(Decision::MigrationRequested),
+                );
+                if let Some((_, _, post)) = self.replace(&t, None) {
+                    self.failovers += 1;
+                    self.emit_launched(id, t.spec, post, LaunchCause::Failover);
+                    self.emit_migration_alloc(id, None, post);
+                    if !self.cmd_channel.detects_dead_peer() {
+                        // The old replica may still be running behind the
+                        // partition: fence it by its exact epoch. A
+                        // reliable transport proved the peer dead — there
+                        // is nothing to tear down.
+                        self.schedule_teardown(node, id, t.epoch);
+                    }
+                    continue;
+                }
+            }
+            self.parked.insert(
+                id,
+                Parked { spec: t.spec, epoch: t.epoch, migrations_used: t.migrations_used },
+            );
+            self.evict(id);
+        }
+    }
+
+    /// A suspected node answered again: lift the suspicion and reconcile
+    /// whatever it is still hosting by epoch comparison.
+    fn clear_suspicion(&mut self, node: usize, residents: &[(u64, AppId, u64)]) {
+        self.suspected[node] = false;
+        if !self.cmd_channel.detects_dead_peer() {
+            self.log.push(
+                self.tick,
+                self.clock,
+                None,
+                EventBody::World(WorldFact::NodeSuspicionCleared { node }),
+            );
+        }
+        if self.cluster_cfg.fencing {
+            self.reconcile(node, residents);
+        }
+    }
+
+    /// Epoch-compares a reconnecting node's residents against the
+    /// authoritative state: current-epoch replicas of parked (evicted)
+    /// services are re-adopted, everything else is fenced.
+    fn reconcile(&mut self, node: usize, residents: &[(u64, AppId, u64)]) {
+        for &(id, app, epoch) in residents {
+            let authoritative = self
+                .services
+                .iter()
+                .any(|t| t.handle.id == id && t.handle.node == node && t.epoch == epoch);
+            if authoritative {
+                continue;
+            }
+            let readoptable = self.parked.get(&id).map(|p| p.epoch == epoch).unwrap_or(false)
+                && self.dispositions.get(&id) == Some(&ServiceDisposition::Evicted);
+            if readoptable {
+                let Some(settled) = self.agents[node].node.allocation(app) else {
+                    self.schedule_teardown(node, id, epoch);
+                    continue;
+                };
+                let p = self.parked.remove(&id).expect("checked above");
+                self.services.push(Tracked {
+                    handle: ServiceHandle { id, node, app },
+                    spec: p.spec,
+                    epoch,
+                    violating_since: None,
+                    warm_until: 0.0,
+                    migrations_used: p.migrations_used,
+                    settled_s: self.clock,
+                });
+                self.dispositions.insert(id, ServiceDisposition::Running);
+                self.readopted += 1;
+                self.emit_launched(id, p.spec, settled, LaunchCause::Readopted);
+            } else {
+                self.schedule_teardown(node, id, epoch);
+            }
+        }
+    }
+
+    /// A fresh pong from an *unsuspected* node is also an existence
+    /// proof: any service tracked there but absent from the snapshot
+    /// (placed before the snapshot was taken) lost its replica without a
+    /// suspicion window — e.g. a crash shorter than the heartbeat
+    /// timeout. Re-place it instead of tracking a zombie.
+    fn rehome_missing(&mut self, node: usize, at_s: f64, residents: &[(u64, AppId, u64)]) {
+        let reported: BTreeSet<u64> = residents.iter().map(|r| r.0).collect();
+        let missing: Vec<u64> = self
+            .services
+            .iter()
+            .filter(|t| {
+                t.handle.node == node && t.settled_s < at_s && !reported.contains(&t.handle.id)
+            })
+            .map(|t| t.handle.id)
+            .collect();
+        for id in missing {
+            let Some(pos) = self.services.iter().position(|t| t.handle.id == id) else {
+                continue;
+            };
+            let t = self.services.remove(pos);
+            if !self.physically_gone.remove(&id) {
+                self.log.push(
+                    self.tick,
+                    self.clock,
+                    Some(id),
+                    EventBody::World(WorldFact::Removed { cause: RemovalCause::NodeFailure }),
+                );
+            }
+            if self.cluster_cfg.failover {
+                self.log.push(
+                    self.tick,
+                    self.clock,
+                    Some(id),
+                    EventBody::Decision(Decision::MigrationRequested),
+                );
+                if let Some((_, _, post)) = self.replace(&t, None) {
+                    self.failovers += 1;
+                    self.emit_launched(id, t.spec, post, LaunchCause::Failover);
+                    self.emit_migration_alloc(id, None, post);
+                    continue;
+                }
+            }
+            self.evict(id);
+        }
+    }
+
+    // ---- ground-truth node health -----------------------------------
+
+    /// Reconciles one agent's ground-truth health with the fault plan (or
+    /// the chaos-hook override under a none plan). Down transitions drain
+    /// the node and ledger the losses; what the *cluster* believes is a
+    /// separate, later question for the heartbeat path.
+    fn refresh_agent(&mut self, node: usize) {
+        let target = if !self.cluster_cfg.node_faults.is_none() {
+            self.agents[node].forced_down = false;
+            self.cluster_cfg.node_faults.health(node, self.clock).is_up()
+        } else {
+            !self.agents[node].forced_down
+        };
+        let alive = self.agents[node].alive;
+        if alive && !target {
+            self.take_node_down(node);
+        } else if !alive && target {
+            self.agents[node].alive = true;
+            self.log.push(
+                self.tick,
+                self.clock,
+                None,
+                EventBody::World(WorldFact::NodeRecovered { node }),
+            );
+        }
+        if self.agents[node].alive {
+            self.agents[node].capacity =
+                self.cluster_cfg.node_faults.health(node, self.clock).capacity();
+        }
+    }
+
+    /// Ground-truth node death: processes drain with it. Tracked and
+    /// parked residents get their removal ledgered now (a world fact,
+    /// independent of when the cluster's belief catches up); anonymous
+    /// ghosts never had a launch fact, so they die unrecorded.
+    fn take_node_down(&mut self, node: usize) {
+        self.log.push(
+            self.tick,
+            self.clock,
+            None,
+            EventBody::World(WorldFact::NodeFailed { node }),
+        );
+        let drained = self.agents[node].crash();
+        let mut seen_ids: Vec<u64> = Vec::new();
+        for (id, _, _) in drained {
+            if seen_ids.contains(&id) {
+                continue;
+            }
+            seen_ids.push(id);
+            let tracked = self.services.iter().any(|t| t.handle.id == id);
+            let parked = self.parked.remove(&id).is_some();
+            if tracked {
+                self.physically_gone.insert(id);
+            }
+            if tracked || parked {
+                self.log.push(
+                    self.tick,
+                    self.clock,
+                    Some(id),
+                    EventBody::World(WorldFact::Removed { cause: RemovalCause::NodeFailure }),
+                );
+            }
+        }
+    }
+
+    /// Logs partition-window transitions for `node` as world facts.
+    fn note_partition_transitions(&mut self, node: usize) {
+        let inside = self.cluster_cfg.channel.partitioned(node, self.clock);
+        if inside == self.partitioned[node] {
+            return;
+        }
+        self.partitioned[node] = inside;
+        let fact = if inside {
+            WorldFact::PartitionStarted { node }
+        } else {
+            WorldFact::PartitionHealed { node }
+        };
+        self.log.push(self.tick, self.clock, None, EventBody::World(fact));
+    }
+
+    // ---- placement --------------------------------------------------
+
+    /// Candidate nodes for a placement, best first: unsuspected nodes
+    /// only (minus `exclude`), ranked by the configured
+    /// [`PlacementPolicy`].
+    fn candidates(&mut self, exclude: Option<usize>) -> Vec<usize> {
         let mut order: Vec<usize> =
-            (0..self.nodes.len()).filter(|&i| self.up[i] && Some(i) != exclude).collect();
+            (0..self.agents.len()).filter(|&i| !self.suspected[i] && Some(i) != exclude).collect();
         match self.cluster_cfg.policy {
             PlacementPolicy::FirstFit => {
-                order.sort_by_key(|&i| std::cmp::Reverse(self.nodes[i].idle_cores().count()));
+                order.sort_by_key(|&i| std::cmp::Reverse(self.agents[i].node.idle_cores().count()));
             }
             PlacementPolicy::InterferenceScore => {
                 let mut scored: Vec<(usize, f64)> =
@@ -334,17 +1244,31 @@ impl Cluster {
                 });
                 order = scored.into_iter().map(|(i, _)| i).collect();
             }
+            PlacementPolicy::Random => {
+                // Null-hypothesis baseline: a seeded shuffle, one fresh
+                // draw stream per placement attempt.
+                self.placement_draws += 1;
+                let draw = self.placement_draws;
+                let mut scored: Vec<(usize, f64)> = order
+                    .into_iter()
+                    .map(|i| (i, hash01(self.seed, (draw << 8) ^ i as u64, PLACEMENT_SALT)))
+                    .collect();
+                scored.sort_by(|a, b| {
+                    a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+                });
+                order = scored.into_iter().map(|(i, _)| i).collect();
+            }
         }
         order
     }
 
     /// Interference-aware placement score; higher is a better destination.
-    /// Free capacity (idle core and LLC-way fractions) scaled by node
-    /// health, minus the QoS pressure of residents: a service already at
-    /// 90 % of its latency target contributes its overshoot, so newcomers
-    /// avoid nodes whose tenants have no slack left.
+    /// Free capacity (idle core and LLC-way fractions) scaled by the last
+    /// known node health, minus the QoS pressure of residents: a service
+    /// already at 90 % of its latency target contributes its overshoot,
+    /// so newcomers avoid nodes whose tenants have no slack left.
     fn node_score(&self, node: usize) -> f64 {
-        let server = &self.nodes[node];
+        let server = &self.agents[node].node;
         let topo = server.topology();
         let idle_cores = server.idle_cores().count() as f64 / topo.logical_cores() as f64;
         let idle_ways = server.idle_way_count() as f64 / topo.llc_ways() as f64;
@@ -354,13 +1278,13 @@ impl Cluster {
                 pressure += (lat.p95_ms / lat.qos_target_ms - 0.9).max(0.0);
             }
         }
-        let capacity = self.cluster_cfg.node_faults.health(node, self.clock).capacity();
-        capacity * (idle_cores + idle_ways) - pressure
+        self.capacity[node] * (idle_cores + idle_ways) - pressure
     }
 
     /// Submits a new service, trying candidate nodes best-first and
-    /// falling back through every up node before declaring the cluster
-    /// full. Either way the outcome is ledgered: `Running` or `Rejected`.
+    /// falling back through every believed-up node before declaring the
+    /// cluster full. Either way the outcome is ledgered: `Running` or
+    /// `Rejected`.
     pub fn submit(&mut self, spec: LaunchSpec) -> ClusterPlacement {
         let id = self.next_id;
         self.next_id += 1;
@@ -377,18 +1301,28 @@ impl Cluster {
             }),
         );
         for node in self.candidates(None) {
-            if let Some((app, post)) = self.try_place(node, spec, id, false) {
-                let handle = ServiceHandle { id, node, app };
-                self.emit_launched(id, spec, post, LaunchCause::Scripted);
-                self.services.push(Tracked {
-                    handle,
-                    spec,
-                    violating_since: None,
-                    warm_until: 0.0,
-                    migrations_used: 0,
-                });
-                self.dispositions.insert(id, ServiceDisposition::Running);
-                return ClusterPlacement::Placed(handle);
+            let epoch = self.next_epoch(id);
+            match self.rpc(node, Command::Launch { id, epoch, spec, resilient: false }) {
+                Some(NodeReply::Launched { app, post, retried, gave_up, .. }) => {
+                    self.emit_install_telemetry(id, &retried, gave_up);
+                    let handle = ServiceHandle { id, node, app };
+                    self.emit_launched(id, spec, post, LaunchCause::Scripted);
+                    self.services.push(Tracked {
+                        handle,
+                        spec,
+                        epoch,
+                        violating_since: None,
+                        warm_until: 0.0,
+                        migrations_used: 0,
+                        settled_s: self.clock,
+                    });
+                    self.dispositions.insert(id, ServiceDisposition::Running);
+                    return ClusterPlacement::Placed(handle);
+                }
+                Some(NodeReply::LaunchFailed { retried, gave_up, .. }) => {
+                    self.emit_install_telemetry(id, &retried, gave_up);
+                }
+                _ => {}
             }
         }
         self.dispositions.insert(id, ServiceDisposition::Rejected);
@@ -401,75 +1335,23 @@ impl Cluster {
         ClusterPlacement::ClusterFull
     }
 
-    /// Launches `spec` on `node` and runs the node controller's arrival
-    /// path. Returns the app id and the placement-settled allocation, or
-    /// `None` (with the node cleaned up) if the node cannot host it.
-    ///
-    /// `resilient` marks migration installs: the bootstrap actuation is
-    /// then driven through [`Retrying`] so transient destination faults
-    /// are retried with backoff before the candidate is given up on —
-    /// and a persistent failure rolls the half-launched replica back.
-    /// Skipped entirely under a none actuation plan, where the install
-    /// is already committed by `launch` and the extra `reallocate` would
-    /// perturb the simulator's contention fixed-point.
-    fn try_place(
-        &mut self,
-        node: usize,
-        spec: LaunchSpec,
-        id: u64,
-        resilient: bool,
-    ) -> Option<(AppId, Allocation)> {
-        let bootstrap = crate::bootstrap::bootstrap_allocation(&mut self.nodes[node], spec.threads);
-        let app = self.nodes[node].inner_mut().launch(spec, bootstrap).ok()?;
-        if resilient && !self.cluster_cfg.actuation_faults.profile.is_none() {
-            let installed;
-            let stats;
-            {
-                let mut retrying = Retrying::new(
-                    &mut self.nodes[node],
-                    self.config.actuation_retry_budget,
-                    self.config.retry_backoff_base_ms,
-                    self.config.max_backoff_ms,
-                );
-                installed = retrying.reallocate(app, bootstrap);
-                stats = retrying.take_stats();
-            }
-            for (_, attempts, backoff_ms) in stats.retried {
-                self.log.push(
-                    self.tick,
-                    self.clock,
-                    Some(id),
-                    EventBody::Telemetry(TelemetryNote::Retried { attempts, backoff_ms }),
-                );
-            }
-            if stats.persistent > 0 {
-                self.log.push(
-                    self.tick,
-                    self.clock,
-                    Some(id),
-                    EventBody::Telemetry(TelemetryNote::FaultObserved { transient: true }),
-                );
-            }
-            if installed.is_err() {
-                // Roll the half-launched replica back; teardown goes
-                // through the OS, not the faulted actuation path.
-                let _ = self.nodes[node].remove(app);
-                return None;
-            }
+    /// Logs the install-path retry telemetry a launch reply carried.
+    fn emit_install_telemetry(&mut self, id: u64, retried: &[(u32, f64)], gave_up: bool) {
+        for &(attempts, backoff_ms) in retried {
+            self.log.push(
+                self.tick,
+                self.clock,
+                Some(id),
+                EventBody::Telemetry(TelemetryNote::Retried { attempts, backoff_ms }),
+            );
         }
-        self.nodes[node].advance(1.0);
-        match self.schedulers[node].on_arrival(&mut self.nodes[node], app) {
-            Placement::Placed => {
-                let post = self.nodes[node].allocation(app).unwrap_or(bootstrap);
-                Some((app, post))
-            }
-            Placement::Rejected(_) | Placement::Deferred { .. } => {
-                // The cluster tier has no arrival queue of its own: a node
-                // that defers is treated as full and the next node is tried.
-                let _ = self.nodes[node].remove(app);
-                self.schedulers[node].on_departure(app);
-                None
-            }
+        if gave_up {
+            self.log.push(
+                self.tick,
+                self.clock,
+                Some(id),
+                EventBody::Telemetry(TelemetryNote::FaultObserved { transient: true }),
+            );
         }
     }
 
@@ -516,35 +1398,47 @@ impl Cluster {
     }
 
     /// Transactionally re-places `t` (already out of `services`) on the
-    /// best surviving candidate. On success the new residency is tracked
-    /// and ledgered and `(node, app, settled allocation)` returned; the
-    /// caller owns source teardown and log emission, so the destination
-    /// launch always commits before any source replica is released.
+    /// best believed-up candidate, through a fenced launch RPC. On
+    /// success the new residency is tracked and ledgered and
+    /// `(node, app, settled allocation)` returned; the caller owns source
+    /// teardown and log emission, so the destination launch always
+    /// commits before any source replica is released.
     fn replace(
         &mut self,
         t: &Tracked,
         exclude: Option<usize>,
     ) -> Option<(usize, AppId, Allocation)> {
+        let id = t.handle.id;
         for node in self.candidates(exclude) {
-            if let Some((app, post)) = self.try_place(node, t.spec, t.handle.id, true) {
-                let id = t.handle.id;
-                let warm_until = self.nodes[node].now() + self.cluster_cfg.warmup_cost_s;
-                self.warmup_charged_s += self.cluster_cfg.warmup_cost_s;
-                self.services.push(Tracked {
-                    handle: ServiceHandle { id, node, app },
-                    spec: t.spec,
-                    violating_since: None,
-                    warm_until,
-                    migrations_used: t.migrations_used + 1,
-                });
-                self.dispositions.insert(id, ServiceDisposition::Running);
-                return Some((node, app, post));
+            let epoch = self.next_epoch(id);
+            match self.rpc(node, Command::Launch { id, epoch, spec: t.spec, resilient: true }) {
+                Some(NodeReply::Launched { app, post, retried, gave_up, .. }) => {
+                    self.emit_install_telemetry(id, &retried, gave_up);
+                    let warm_until = self.agents[node].node.now() + self.cluster_cfg.warmup_cost_s;
+                    self.warmup_charged_s += self.cluster_cfg.warmup_cost_s;
+                    self.services.push(Tracked {
+                        handle: ServiceHandle { id, node, app },
+                        spec: t.spec,
+                        epoch,
+                        violating_since: None,
+                        warm_until,
+                        migrations_used: t.migrations_used + 1,
+                        settled_s: self.clock,
+                    });
+                    self.dispositions.insert(id, ServiceDisposition::Running);
+                    self.physically_gone.remove(&id);
+                    return Some((node, app, post));
+                }
+                Some(NodeReply::LaunchFailed { retried, gave_up, .. }) => {
+                    self.emit_install_telemetry(id, &retried, gave_up);
+                }
+                _ => {}
             }
         }
         None
     }
 
-    /// Ledger a typed eviction: capacity is genuinely gone.
+    /// Ledger a typed eviction: capacity is genuinely (believed) gone.
     fn evict(&mut self, id: u64) {
         self.evictions += 1;
         self.dispositions.insert(id, ServiceDisposition::Evicted);
@@ -556,96 +1450,50 @@ impl Cluster {
         );
     }
 
-    /// A node died: drain its residents (their processes die with it),
-    /// then fail each one over to a surviving node — or evict, typed.
-    fn fail_node(&mut self, node: usize) {
-        self.up[node] = false;
-        self.log.push(
-            self.tick,
-            self.clock,
-            None,
-            EventBody::World(WorldFact::NodeFailed { node }),
-        );
-        let mut stranded: Vec<Tracked> = Vec::new();
-        let mut idx = 0;
-        while idx < self.services.len() {
-            if self.services[idx].handle.node == node {
-                let t = self.services.remove(idx);
-                let _ = self.nodes[node].remove(t.handle.app);
-                self.schedulers[node].on_departure(t.handle.app);
-                self.log.push(
-                    self.tick,
-                    self.clock,
-                    Some(t.handle.id),
-                    EventBody::World(WorldFact::Removed { cause: RemovalCause::NodeFailure }),
-                );
-                stranded.push(t);
-            } else {
-                idx += 1;
-            }
-        }
-        for t in stranded {
-            let id = t.handle.id;
-            if self.cluster_cfg.failover {
-                self.log.push(
-                    self.tick,
-                    self.clock,
-                    Some(id),
-                    EventBody::Decision(Decision::MigrationRequested),
-                );
-                if let Some((_, _, post)) = self.replace(&t, None) {
-                    self.failovers += 1;
-                    self.emit_launched(id, t.spec, post, LaunchCause::Failover);
-                    self.emit_migration_alloc(id, None, post);
-                    continue;
-                }
-            }
-            self.evict(id);
-        }
-    }
-
-    /// A failed node rejoined, empty: eligible for placements again.
-    fn recover_node(&mut self, node: usize) {
-        self.up[node] = true;
-        self.log.push(
-            self.tick,
-            self.clock,
-            None,
-            EventBody::World(WorldFact::NodeRecovered { node }),
-        );
-    }
-
-    /// Manually kills a node (chaos hook): drains and fails over its
-    /// residents exactly as a plan-scripted death would. Idempotent — a
-    /// dead node stays dead. Under a non-none [`NodeFaultPlan`] the plan
-    /// remains authoritative: the next [`Cluster::run`] step may revive
-    /// the node if the plan says it is healthy.
+    /// Manually kills a node (chaos hook): ground truth and belief move
+    /// together, draining and failing over exactly as a plan-scripted
+    /// death would. Idempotent — a dead node stays dead. Under a non-none
+    /// [`NodeFaultPlan`](osml_platform::NodeFaultPlan) the plan remains
+    /// authoritative: the next [`Cluster::run`] step may revive the node
+    /// if the plan says it is healthy.
     pub fn kill_node(&mut self, node: usize) {
-        if self.up[node] {
-            self.fail_node(node);
-        }
-    }
-
-    /// Manually revives a dead node, empty (chaos hook). Idempotent.
-    pub fn restore_node(&mut self, node: usize) {
-        if !self.up[node] {
-            self.recover_node(node);
-        }
-    }
-
-    /// Reconciles per-node health with the fault plan at the current
-    /// cluster clock, draining/failing-over on down transitions.
-    fn apply_node_health(&mut self) {
-        if self.cluster_cfg.node_faults.is_none() {
+        if self.suspected[node] {
+            if self.agents[node].alive {
+                // Already evicted/failed over by suspicion; the kill just
+                // makes the belief true.
+                self.agents[node].forced_down = true;
+                self.take_node_down(node);
+            }
             return;
         }
-        for node in 0..self.nodes.len() {
-            let healthy = self.cluster_cfg.node_faults.health(node, self.clock).is_up();
-            match (self.up[node], healthy) {
-                (true, false) => self.fail_node(node),
-                (false, true) => self.recover_node(node),
-                _ => {}
-            }
+        self.agents[node].forced_down = true;
+        if self.agents[node].alive {
+            self.take_node_down(node);
+        }
+        self.suspect(node);
+    }
+
+    /// Manually revives a dead (or falsely suspected) node, with
+    /// out-of-band operator knowledge standing in for a heartbeat:
+    /// suspicion clears immediately and residents are reconciled from
+    /// ground truth. Idempotent.
+    pub fn restore_node(&mut self, node: usize) {
+        self.agents[node].forced_down = false;
+        if !self.agents[node].alive {
+            self.agents[node].alive = true;
+            self.agents[node].capacity =
+                self.cluster_cfg.node_faults.health(node, self.clock).capacity();
+            self.log.push(
+                self.tick,
+                self.clock,
+                None,
+                EventBody::World(WorldFact::NodeRecovered { node }),
+            );
+        }
+        if self.suspected[node] {
+            self.last_heard[node] = self.clock;
+            let residents = self.agents[node].residents.clone();
+            self.clear_suspicion(node, &residents);
         }
     }
 
@@ -661,20 +1509,31 @@ impl Cluster {
     }
 
     /// Removes the running service with cluster id `id` (completion).
+    /// The physical teardown is an epoch-fenced, at-least-once command;
+    /// if the node is unreachable it stays pending until acknowledged.
     pub fn finish_id(&mut self, id: u64) -> bool {
         let Some(pos) = self.services.iter().position(|t| t.handle.id == id) else {
             return false;
         };
         let t = self.services.remove(pos);
-        let _ = self.nodes[t.handle.node].remove(t.handle.app);
-        self.schedulers[t.handle.node].on_departure(t.handle.app);
+        let node = t.handle.node;
+        if self.suspected[node] {
+            self.schedule_teardown(node, id, t.epoch);
+        } else {
+            match self.rpc(node, Command::Teardown { id, epoch: t.epoch }) {
+                Some(NodeReply::TornDown { .. }) => {}
+                _ => self.schedule_teardown(node, id, t.epoch),
+            }
+        }
         self.dispositions.insert(id, ServiceDisposition::Finished);
-        self.log.push(
-            self.tick,
-            self.clock,
-            Some(id),
-            EventBody::World(WorldFact::Removed { cause: RemovalCause::ScriptedDeparture }),
-        );
+        if !self.physically_gone.remove(&id) {
+            self.log.push(
+                self.tick,
+                self.clock,
+                Some(id),
+                EventBody::World(WorldFact::Removed { cause: RemovalCause::ScriptedDeparture }),
+            );
+        }
         true
     }
 
@@ -687,23 +1546,37 @@ impl Cluster {
     /// cluster id, so the answer tracks migrations and failover.
     pub fn latency_over_target(&self, id: u64) -> Option<f64> {
         let t = self.services.iter().find(|t| t.handle.id == id)?;
-        let lat = self.nodes[t.handle.node].latency(t.handle.app)?;
+        let lat = self.agents[t.handle.node].node.latency(t.handle.app)?;
         Some(lat.p95_ms / lat.qos_target_ms)
     }
 
-    /// Runs every node forward by `seconds` (1 Hz monitoring): node
-    /// health transitions first (failures drain and fail over), then the
+    /// Runs every node forward by `seconds` (1 Hz monitoring). Each step:
+    /// per-node ground-truth health and channel pumping (partition facts,
+    /// heartbeats, suspicion), then pending teardown re-sends, then the
     /// per-node controllers, then QoS-violation migrations.
     pub fn run(&mut self, seconds: f64) {
         let steps = seconds.max(0.0).round() as usize;
         for _ in 0..steps {
             self.clock += 1.0;
-            self.apply_node_health();
-            for node in 0..self.nodes.len() {
-                self.nodes[node].advance(1.0);
-                if self.up[node] {
-                    self.schedulers[node].tick(&mut self.nodes[node]);
+            if self.cmd_channel.detects_dead_peer() {
+                // A reliable management network implies ambient capacity
+                // gauges; a lossy one only learns capacity from pongs.
+                for node in 0..self.agents.len() {
+                    self.capacity[node] =
+                        self.cluster_cfg.node_faults.health(node, self.clock).capacity();
                 }
+            }
+            for node in 0..self.agents.len() {
+                self.note_partition_transitions(node);
+                self.refresh_agent(node);
+                self.pump_node(node);
+                self.drain_replies(node);
+                self.heartbeat(node);
+                self.check_timeout(node);
+            }
+            self.retry_pending();
+            for node in 0..self.agents.len() {
+                self.agents[node].step();
             }
             self.check_migrations();
             self.tick += 1;
@@ -714,7 +1587,7 @@ impl Cluster {
     fn check_migrations(&mut self) {
         let mut to_migrate: Vec<usize> = Vec::new();
         for (idx, tracked) in self.services.iter_mut().enumerate() {
-            let node = &self.nodes[tracked.handle.node];
+            let node = &self.agents[tracked.handle.node].node;
             let now = node.now();
             if now < tracked.warm_until {
                 // Paid warm-up after a migration: early samples are
@@ -751,14 +1624,17 @@ impl Cluster {
                 Some(id),
                 EventBody::Decision(Decision::MigrationRequested),
             );
-            let pre = self.nodes[from].allocation(t.handle.app);
+            let pre = self.agents[from].node.allocation(t.handle.app);
             if let Some((_, _, post)) = self.replace(&t, Some(from)) {
                 // The destination is committed: only now is the source
-                // replica torn down (teardown is an OS path and cannot
-                // fail transiently), so a failed migration can never
-                // leave zero — or two — live replicas.
-                let _ = self.nodes[from].remove(t.handle.app);
-                self.schedulers[from].on_departure(t.handle.app);
+                // replica released — an epoch-exact teardown that stays
+                // pending (and re-sent) if the ack does not arrive, so a
+                // mid-flight partition can never yield zero — or two —
+                // authoritative replicas.
+                match self.rpc(from, Command::Teardown { id, epoch: t.epoch }) {
+                    Some(NodeReply::TornDown { .. }) => {}
+                    _ => self.schedule_teardown(from, id, t.epoch),
+                }
                 self.migrations += 1;
                 self.log.push(
                     self.tick,
@@ -791,7 +1667,9 @@ mod tests {
     use super::*;
     use crate::Models;
     use osml_models::{ModelA, ModelB, ModelBPrime, ModelC};
-    use osml_platform::{FailWindow, FaultProfile, NodeCrash, NodeFaultPlan};
+    use osml_platform::{
+        ChannelPlan, FailWindow, FaultProfile, NodeCrash, NodeFaultPlan, PartitionWindow,
+    };
 
     /// A scheduler with untrained models is still structurally valid for
     /// cluster-plumbing tests (predictions are arbitrary but legal).
@@ -816,6 +1694,14 @@ mod tests {
             },
             policy: PlacementPolicy::InterferenceScore,
             ..ClusterConfig::default()
+        }
+    }
+
+    /// A channel plan that only partitions `node` during `[from, until)`.
+    fn partition_plan(node: usize, from: f64, until: f64) -> ChannelPlan {
+        ChannelPlan {
+            partitions: vec![PartitionWindow { node, start_s: from, end_s: until }],
+            ..ChannelPlan::none()
         }
     }
 
@@ -844,10 +1730,10 @@ mod tests {
         else {
             panic!("placement failed");
         };
-        let idle_during = cluster.nodes[0].idle_cores().count();
+        let idle_during = cluster.agents[0].node.idle_cores().count();
         assert!(cluster.finish(h));
         assert!(!cluster.finish(h), "double-finish must be rejected");
-        assert!(cluster.nodes[0].idle_cores().count() > idle_during);
+        assert!(cluster.agents[0].node.idle_cores().count() > idle_during);
         assert!(cluster.services().is_empty());
         assert_eq!(cluster.disposition(h.id), Some(ServiceDisposition::Finished));
     }
@@ -874,8 +1760,8 @@ mod tests {
     fn run_advances_all_nodes() {
         let mut cluster = Cluster::new(3, raw_scheduler(), OsmlConfig::default(), 8);
         cluster.run(10.0);
-        for node in &cluster.nodes {
-            assert!((node.now() - 10.0).abs() < 1e-9);
+        for agent in &cluster.agents {
+            assert!((agent.node.now() - 10.0).abs() < 1e-9);
         }
     }
 
@@ -897,6 +1783,36 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn zero_nodes_panics_through_the_legacy_constructor() {
         let _ = Cluster::new(0, raw_scheduler(), OsmlConfig::default(), 1);
+    }
+
+    #[test]
+    fn invalid_configs_are_typed_errors() {
+        let bad: Vec<ClusterConfig> = vec![
+            ClusterConfig { warmup_cost_s: 0.0, ..ClusterConfig::default() },
+            ClusterConfig { warmup_cost_s: -1.0, ..ClusterConfig::default() },
+            ClusterConfig { heartbeat_interval_s: 0.0, ..ClusterConfig::default() },
+            ClusterConfig {
+                heartbeat_interval_s: 5.0,
+                heartbeat_timeout_s: 5.0,
+                ..ClusterConfig::default()
+            },
+            ClusterConfig { migration_budget: 0, ..ClusterConfig::default() },
+            ClusterConfig {
+                channel: ChannelPlan { drop_prob: 1.5, ..ChannelPlan::none() },
+                ..ClusterConfig::default()
+            },
+        ];
+        for cfg in bad {
+            let err =
+                Cluster::try_new(2, raw_scheduler(), OsmlConfig::default(), cfg, 1).unwrap_err();
+            assert!(
+                matches!(err, ClusterError::InvalidConfig { .. }),
+                "expected InvalidConfig, got {err:?}"
+            );
+            assert!(err.to_string().starts_with("invalid cluster config:"));
+        }
+        // The default config itself must validate.
+        assert!(ClusterConfig::default().validate().is_ok());
     }
 
     #[test]
@@ -1051,7 +1967,7 @@ mod tests {
 
     #[test]
     fn exhausted_migration_budget_suppresses_thrashing() {
-        let cfg = ClusterConfig { migration_budget: 0, ..ClusterConfig::default() };
+        let cfg = ClusterConfig { migration_budget: 1, ..ClusterConfig::default() };
         let mut cluster =
             Cluster::try_new(2, raw_scheduler(), OsmlConfig::default(), cfg, 16).unwrap();
         cluster.migration_patience_s = 5.0;
@@ -1060,10 +1976,13 @@ mod tests {
         else {
             panic!("placement failed");
         };
-        cluster.run(30.0);
-        assert_eq!(cluster.migrations(), 0, "budget 0 means no QoS migrations");
-        assert!(cluster.migrations_suppressed() > 0);
-        assert_eq!(cluster.locate(h.id).unwrap().node, h.node, "the service stayed put");
+        cluster.run(60.0);
+        assert!(cluster.migrations() <= 1, "budget 1 allows at most one QoS migration");
+        assert!(
+            cluster.migrations_suppressed() > 0,
+            "the persisting violation must hit the exhausted budget"
+        );
+        assert!(cluster.locate(h.id).is_some(), "the service stayed in the cluster");
     }
 
     #[test]
@@ -1095,7 +2014,7 @@ mod tests {
         assert_eq!(cluster.migrations(), 0, "no install can commit");
         assert_eq!(cluster.locate(h.id).unwrap().node, h.node, "transaction left it in place");
         assert!(
-            cluster.nodes[other].apps().is_empty(),
+            cluster.agents[other].node.apps().is_empty(),
             "rolled-back replicas must not linger on the destination"
         );
         assert!(
@@ -1168,5 +2087,199 @@ mod tests {
             "fold layout keys must equal the running set"
         );
         assert_eq!(state.tick, 25);
+    }
+
+    #[test]
+    fn duplicate_delivery_is_idempotent_under_fencing() {
+        // Every message is duplicated, both directions. Node-side
+        // sequence dedup plus reply-cache re-acks must keep exactly one
+        // replica per service.
+        let cfg = ClusterConfig {
+            channel: ChannelPlan { seed: 21, duplicate_prob: 1.0, ..ChannelPlan::none() },
+            ..ClusterConfig::default()
+        };
+        let mut cluster =
+            Cluster::try_new(2, raw_scheduler(), OsmlConfig::default(), cfg, 21).unwrap();
+        let ClusterPlacement::Placed(h) =
+            cluster.submit(LaunchSpec::at_percent_load(Service::Moses, 30.0))
+        else {
+            panic!("placement failed");
+        };
+        cluster.run(10.0);
+        assert_eq!(cluster.replicas_of(h.id), 1, "duplicated launches must not double-place");
+        assert_eq!(cluster.ghost_replicas(), 0);
+        assert_eq!(cluster.disposition(h.id), Some(ServiceDisposition::Running));
+        assert!(
+            cluster
+                .unified_log()
+                .world_facts()
+                .any(|e| matches!(e.body, EventBody::World(WorldFact::MessageDuplicated { .. }))),
+            "transport duplication must be a world fact"
+        );
+        cluster.unified_log().replay().expect("log must fold under duplication");
+    }
+
+    #[test]
+    fn without_fencing_duplicates_double_place() {
+        // The ablation arm: same duplicating channel, protocol off. The
+        // duplicated launch executes twice and leaves a ghost replica —
+        // the failure mode the fencing protocol exists to prevent.
+        let cfg = ClusterConfig {
+            channel: ChannelPlan { seed: 21, duplicate_prob: 1.0, ..ChannelPlan::none() },
+            fencing: false,
+            ..ClusterConfig::default()
+        };
+        let mut cluster =
+            Cluster::try_new(2, raw_scheduler(), OsmlConfig::default(), cfg, 21).unwrap();
+        let ClusterPlacement::Placed(h) =
+            cluster.submit(LaunchSpec::at_percent_load(Service::Moses, 30.0))
+        else {
+            panic!("placement failed");
+        };
+        assert!(cluster.replicas_of(h.id) > 1, "without dedup the duplicate must double-place");
+        assert!(cluster.ghost_replicas() > 0, "the extra replica is a ghost");
+    }
+
+    #[test]
+    fn false_suspicion_readopts_after_partition_heals() {
+        // A partition, not a crash: the sole node keeps running its
+        // replica the whole time. The cluster must (wrongly) suspect it,
+        // evict, and then re-adopt the still-live replica at heal.
+        let cfg =
+            ClusterConfig { channel: partition_plan(0, 5.0, 12.0), ..ClusterConfig::default() };
+        let mut cluster =
+            Cluster::try_new(1, raw_scheduler(), OsmlConfig::default(), cfg, 22).unwrap();
+        let ClusterPlacement::Placed(h) =
+            cluster.submit(LaunchSpec::at_percent_load(Service::Moses, 30.0))
+        else {
+            panic!("placement failed");
+        };
+        cluster.run(8.0);
+        assert!(!cluster.node_is_up(0), "heartbeat timeout must raise suspicion");
+        assert_eq!(cluster.false_suspicions(), 1, "the node is in fact alive");
+        assert_eq!(cluster.disposition(h.id), Some(ServiceDisposition::Evicted));
+        assert_eq!(cluster.replicas_of(h.id), 1, "the replica survived behind the partition");
+        cluster.run(12.0);
+        assert!(cluster.node_is_up(0), "suspicion clears at heal");
+        assert_eq!(cluster.readopted(), 1, "the current-epoch replica is re-adopted");
+        assert_eq!(cluster.disposition(h.id), Some(ServiceDisposition::Running));
+        assert_eq!(cluster.locate(h.id).map(|h| h.node), Some(0));
+        assert_eq!(cluster.ghost_replicas(), 0);
+        let log = cluster.unified_log();
+        for expect in [
+            |f: &WorldFact| matches!(f, WorldFact::PartitionStarted { node: 0 }),
+            |f: &WorldFact| matches!(f, WorldFact::PartitionHealed { node: 0 }),
+            |f: &WorldFact| matches!(f, WorldFact::NodeSuspected { node: 0 }),
+            |f: &WorldFact| matches!(f, WorldFact::NodeSuspicionCleared { node: 0 }),
+            |f: &WorldFact| matches!(f, WorldFact::Launched { cause: LaunchCause::Readopted, .. }),
+        ] {
+            assert!(
+                log.world_facts().any(|e| match &e.body {
+                    EventBody::World(f) => expect(f),
+                    _ => false,
+                }),
+                "a belief-transition fact is missing from the golden thread"
+            );
+        }
+        let state = log.replay().expect("log must fold across suspicion and re-adoption");
+        assert!(state.layouts.contains_key(&h.id));
+    }
+
+    #[test]
+    fn partition_failover_fences_the_stale_replica_at_heal() {
+        // Two nodes; node 0 is partitioned long enough to be suspected
+        // and its service failed over to node 1. The old replica keeps
+        // running behind the partition — at heal it must be fenced by its
+        // exact epoch, leaving one authoritative replica.
+        let cfg =
+            ClusterConfig { channel: partition_plan(0, 5.0, 25.0), ..ClusterConfig::default() };
+        let mut cluster =
+            Cluster::try_new(2, raw_scheduler(), OsmlConfig::default(), cfg, 23).unwrap();
+        let ClusterPlacement::Placed(h) =
+            cluster.submit(LaunchSpec::at_percent_load(Service::Moses, 30.0))
+        else {
+            panic!("placement failed");
+        };
+        assert_eq!(h.node, 0);
+        cluster.run(15.0);
+        assert_eq!(cluster.failovers(), 1, "the suspected node's service fails over");
+        assert_eq!(cluster.locate(h.id).map(|h| h.node), Some(1));
+        assert_eq!(cluster.replicas_of(h.id), 2, "the ghost still runs behind the partition");
+        cluster.run(20.0);
+        assert_eq!(cluster.replicas_of(h.id), 1, "the ghost is fenced at heal");
+        assert_eq!(cluster.ghost_replicas(), 0);
+        assert_eq!(cluster.fenced_ghosts(), 1);
+        assert_eq!(cluster.disposition(h.id), Some(ServiceDisposition::Running));
+        assert!(cluster.unified_log().world_facts().any(|e| matches!(
+            e.body,
+            EventBody::World(WorldFact::Removed { cause: RemovalCause::Fenced })
+        )));
+        cluster.unified_log().replay().expect("log must fold across fencing");
+    }
+
+    #[test]
+    fn lossy_runs_are_bit_deterministic_for_a_fixed_seed() {
+        let build = || {
+            let cfg = ClusterConfig {
+                channel: ChannelPlan {
+                    partitions: vec![PartitionWindow { node: 0, start_s: 10.0, end_s: 18.0 }],
+                    ..ChannelPlan::lossy(31, 0.1)
+                },
+                ..ClusterConfig::default()
+            };
+            let mut cluster =
+                Cluster::try_new(3, raw_scheduler(), OsmlConfig::default(), cfg, 31).unwrap();
+            for (service, pct) in
+                [(Service::Moses, 30.0), (Service::ImgDnn, 30.0), (Service::Login, 20.0)]
+            {
+                let _ = cluster.submit(LaunchSpec::at_percent_load(service, pct));
+            }
+            cluster.run(40.0);
+            cluster
+        };
+        let (a, b) = (build(), build());
+        let (a_cmd, a_rep) = a.channel_stats();
+        let (b_cmd, b_rep) = b.channel_stats();
+        assert_eq!(
+            (a_cmd.sent, a_cmd.dropped, a_cmd.duplicated, a_cmd.delayed, a_cmd.partitioned),
+            (b_cmd.sent, b_cmd.dropped, b_cmd.duplicated, b_cmd.delayed, b_cmd.partitioned)
+        );
+        assert_eq!(
+            (a_rep.sent, a_rep.dropped, a_rep.duplicated, a_rep.delayed, a_rep.partitioned),
+            (b_rep.sent, b_rep.dropped, b_rep.duplicated, b_rep.delayed, b_rep.partitioned)
+        );
+        assert_eq!(a.services(), b.services());
+        assert_eq!(a.dispositions(), b.dispositions());
+        assert_eq!(a.suspicions(), b.suspicions());
+        assert_eq!(a.fenced_ghosts(), b.fenced_ghosts());
+        assert_eq!(a.unified_log().events().len(), b.unified_log().events().len());
+    }
+
+    #[test]
+    fn random_placement_is_seeded_and_legal() {
+        let cfg = ClusterConfig { policy: PlacementPolicy::Random, ..ClusterConfig::default() };
+        let mut cluster =
+            Cluster::try_new(3, raw_scheduler(), OsmlConfig::default(), cfg.clone(), 33).unwrap();
+        let mut nodes = Vec::new();
+        for _ in 0..4 {
+            if let ClusterPlacement::Placed(h) =
+                cluster.submit(LaunchSpec::at_percent_load(Service::Login, 15.0))
+            {
+                nodes.push(h.node);
+            }
+        }
+        assert_eq!(nodes.len(), 4, "random placement still places on a healthy fleet");
+        // Same seed, same draws: the shuffle is reproducible.
+        let mut again =
+            Cluster::try_new(3, raw_scheduler(), OsmlConfig::default(), cfg, 33).unwrap();
+        let mut nodes_again = Vec::new();
+        for _ in 0..4 {
+            if let ClusterPlacement::Placed(h) =
+                again.submit(LaunchSpec::at_percent_load(Service::Login, 15.0))
+            {
+                nodes_again.push(h.node);
+            }
+        }
+        assert_eq!(nodes, nodes_again);
     }
 }

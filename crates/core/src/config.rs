@@ -1,4 +1,4 @@
-use osml_platform::{FaultPlan, NodeFaultPlan, SloClass};
+use osml_platform::{ChannelPlan, FaultPlan, NodeFaultPlan, SloClass};
 use serde::{Deserialize, Serialize};
 
 /// Tunables of the OSML controller. Defaults follow the paper.
@@ -177,6 +177,11 @@ pub enum PlacementPolicy {
     /// already close to violation — so a crashed node's services land
     /// where they disturb the least, not merely where cores are idle.
     InterferenceScore,
+    /// Seeded random order over the live nodes — the null-hypothesis
+    /// baseline the scored policies are measured against (Fig. 22's
+    /// `random` arm). Deterministic: the order is drawn from the cluster
+    /// seed and a per-placement counter, never from ambient entropy.
+    Random,
 }
 
 /// Tunables of the cluster tier: placement policy, failover, resilient
@@ -209,6 +214,26 @@ pub struct ClusterConfig {
     /// bit-transparent; a live plan makes migration installs go through
     /// the retry-with-backoff path.
     pub actuation_faults: FaultPlan,
+    /// Control-channel fault plan between the cluster and its nodes. The
+    /// none plan selects the perfect (reliable, same-instant) channel,
+    /// bit-identical to the direct calls it replaced; any other plan
+    /// selects the seeded lossy channel and switches failure detection
+    /// from connection refusal to heartbeat-timeout suspicion.
+    pub channel: ChannelPlan,
+    /// Seconds between heartbeat pings to each node. The default (1 s,
+    /// every monitoring step) keeps perfect-channel failure detection as
+    /// prompt as the omniscient health read it replaced.
+    pub heartbeat_interval_s: f64,
+    /// Silence (no pong) after which a node is *suspected* dead on a
+    /// lossy channel. Must exceed the interval; false suspicions are
+    /// possible and are resolved by epoch reconciliation at heal time.
+    pub heartbeat_timeout_s: f64,
+    /// Epoch fencing and duplicate suppression — the exactly-once
+    /// restoration layer over the at-least-once channel. Disabling it is
+    /// the Fig. 23 ablation: duplicated launches double-place, delayed
+    /// teardowns can kill fresh replicas, and healed partitions leave
+    /// ghost replicas eating capacity.
+    pub fencing: bool,
 }
 
 impl Default for ClusterConfig {
@@ -221,6 +246,10 @@ impl Default for ClusterConfig {
             migration_budget: 3,
             node_faults: NodeFaultPlan::none(),
             actuation_faults: FaultPlan::none(),
+            channel: ChannelPlan::none(),
+            heartbeat_interval_s: 1.0,
+            heartbeat_timeout_s: 3.0,
+            fencing: true,
         }
     }
 }
@@ -230,6 +259,42 @@ impl ClusterConfig {
     /// placement with failover armed.
     pub fn failover_enabled() -> Self {
         ClusterConfig { policy: PlacementPolicy::InterferenceScore, ..ClusterConfig::default() }
+    }
+
+    /// Structural validation, run by `Cluster::try_new`. Rejects the
+    /// configurations that used to misbehave silently: a non-positive
+    /// warm-up (the violation clock would never suspend, or arithmetic
+    /// would run backwards), a heartbeat interval at or past the timeout
+    /// (every node would be permanently suspected), a zero migration
+    /// budget (Algorithm 4's escape hatch silently welded shut), and
+    /// channel probabilities outside `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// A static reason string naming the offending field.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.warmup_cost_s <= 0.0 || self.warmup_cost_s.is_nan() {
+            return Err("warmup_cost_s must be positive");
+        }
+        if self.heartbeat_interval_s <= 0.0 || self.heartbeat_interval_s.is_nan() {
+            return Err("heartbeat_interval_s must be positive");
+        }
+        if self.heartbeat_interval_s >= self.heartbeat_timeout_s {
+            return Err("heartbeat_interval_s must be below heartbeat_timeout_s");
+        }
+        if self.migration_budget == 0 {
+            return Err("migration_budget must be at least 1");
+        }
+        for (p, name) in [
+            (self.channel.drop_prob, "channel.drop_prob must be within [0, 1]"),
+            (self.channel.duplicate_prob, "channel.duplicate_prob must be within [0, 1]"),
+            (self.channel.delay_prob, "channel.delay_prob must be within [0, 1]"),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(name);
+            }
+        }
+        Ok(())
     }
 }
 

@@ -52,6 +52,10 @@ pub enum LaunchCause {
     /// The cluster tier re-placed the service on another node — after a
     /// node death or a QoS-violation migration (endogenous).
     Failover,
+    /// A falsely-suspected node healed still hosting the replica at its
+    /// current epoch, and the cluster re-adopted it instead of leaving the
+    /// service evicted (endogenous).
+    Readopted,
 }
 
 /// Why the driver removed a process from the substrate.
@@ -73,6 +77,11 @@ pub enum RemovalCause {
     /// The cluster tier tore down the source replica after the
     /// destination launch of a migration committed (endogenous).
     Migrated,
+    /// A stale-epoch ghost replica (left behind by a partition, a lost
+    /// ack or a duplicated launch) was fenced off and destroyed. The
+    /// authoritative replica of the same service is unaffected, so the
+    /// replay fold treats this as a no-op on layouts (endogenous).
+    Fenced,
 }
 
 /// Layer 1: a fact about the world. World facts are controller-independent
@@ -151,6 +160,45 @@ pub enum WorldFact {
     /// A previously failed cluster node rejoined the fleet, empty.
     NodeRecovered {
         /// The rejoining node's index.
+        node: usize,
+    },
+    /// The control channel dropped a message on a node's link (stochastic
+    /// loss; partition-window drops are covered by the window facts).
+    MessageDropped {
+        /// Node whose link lost the message.
+        node: usize,
+        /// Per-node sequence number of the lost message.
+        seq: u64,
+    },
+    /// The control channel queued an extra copy of a message.
+    MessageDuplicated {
+        /// Node whose link duplicated the message.
+        node: usize,
+        /// Per-node sequence number of the duplicated message.
+        seq: u64,
+    },
+    /// A scripted partition window opened: the node is cut off from the
+    /// cluster in both directions (the node itself keeps running).
+    PartitionStarted {
+        /// The isolated node.
+        node: usize,
+    },
+    /// A partition window closed; traffic to and from the node flows again.
+    PartitionHealed {
+        /// The reconnected node.
+        node: usize,
+    },
+    /// The cluster stopped hearing heartbeats from a node past the
+    /// timeout and now *suspects* it dead. Suspicion is belief, not
+    /// ground truth — the node may merely be partitioned.
+    NodeSuspected {
+        /// The suspected node.
+        node: usize,
+    },
+    /// A suspected node answered a heartbeat again; suspicion is lifted
+    /// and its resident replicas are reconciled by epoch.
+    NodeSuspicionCleared {
+        /// The cleared node.
         node: usize,
     },
 }
@@ -300,6 +348,16 @@ pub enum TelemetryNote {
     /// A transient actuation failure was retried until success.
     Retried {
         /// Attempts including the final successful one.
+        attempts: u32,
+        /// Total backoff charged, milliseconds.
+        backoff_ms: f64,
+    },
+    /// A control-plane command needed same-sequence resends before its
+    /// acknowledgement arrived (at-least-once delivery over a lossy
+    /// channel; distinct from [`TelemetryNote::Retried`], which is an
+    /// actuation-level retry on one node).
+    MessageRetried {
+        /// Send attempts including the final acknowledged one.
         attempts: u32,
         /// Total backoff charged, milliseconds.
         backoff_ms: f64,
@@ -727,6 +785,10 @@ pub fn replay(events: &[UnifiedEvent]) -> Result<ReplayState, ReplayError> {
                 WorldFact::Launched { bootstrap, .. } => {
                     state.layouts.insert(app()?, *bootstrap);
                 }
+                WorldFact::Removed { cause: RemovalCause::Fenced } => {
+                    // A fenced ghost dies without touching the
+                    // authoritative replica's layout.
+                }
                 WorldFact::Removed { .. } => {
                     let id = app()?;
                     state.layouts.remove(&id);
@@ -739,7 +801,13 @@ pub fn replay(events: &[UnifiedEvent]) -> Result<ReplayState, ReplayError> {
                 | WorldFact::FaultInjected { .. }
                 | WorldFact::ControllerCrashed
                 | WorldFact::NodeFailed { .. }
-                | WorldFact::NodeRecovered { .. } => {}
+                | WorldFact::NodeRecovered { .. }
+                | WorldFact::MessageDropped { .. }
+                | WorldFact::MessageDuplicated { .. }
+                | WorldFact::PartitionStarted { .. }
+                | WorldFact::PartitionHealed { .. }
+                | WorldFact::NodeSuspected { .. }
+                | WorldFact::NodeSuspicionCleared { .. } => {}
             },
             EventBody::Decision(decision) => {
                 match decision {

@@ -46,21 +46,39 @@ impl RetryStats {
     }
 }
 
+/// The shared at-least-once retry discipline: a budget of re-attempts and
+/// the capped exponential-backoff accounting series. [`Retrying`] applies
+/// it to substrate actuations; the cluster control plane applies the same
+/// policy to command resends over a lossy channel, so both layers charge
+/// backoff identically (accounted, never slept).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RetryPolicy {
+    /// Re-attempts allowed after the first try.
+    pub budget: u32,
+    /// Backoff base, ms; retry *n* charges `base · 2ⁿ⁻¹`.
+    pub backoff_base_ms: f64,
+    /// Ceiling on the total backoff charged to one operation, ms.
+    pub max_backoff_ms: f64,
+}
+
+impl RetryPolicy {
+    /// The running backoff total after charging retry number `attempts`
+    /// (1-based count of *completed* attempts): adds `base · 2ⁿ⁻¹` to
+    /// `charged_ms` and saturates at the cap. The exponential term is
+    /// computed in f64 (no integer shift to overflow).
+    pub fn charge(&self, attempts: u32, charged_ms: f64) -> f64 {
+        let step = self.backoff_base_ms * 2f64.powi((attempts - 1).min(1023) as i32);
+        (charged_ms + step).min(self.max_backoff_ms)
+    }
+}
+
 /// A [`Substrate`] borrow-wrapper that retries transiently failed
 /// actuations with exponential backoff before letting the error surface.
 /// All other operations delegate untouched.
 #[derive(Debug)]
 pub(crate) struct Retrying<'a, S: Substrate> {
     inner: &'a mut S,
-    /// Retries allowed after the first attempt.
-    budget: u32,
-    /// Backoff base, ms; retry *n* charges `base · 2ⁿ⁻¹`.
-    backoff_base_ms: f64,
-    /// Ceiling on the total backoff charged to one actuation, ms. The
-    /// exponential series saturates here explicitly (previously the
-    /// exponent was silently clamped at 2¹⁶, which mis-charged long retry
-    /// chains instead of capping them).
-    max_backoff_ms: f64,
+    policy: RetryPolicy,
     /// Observations pending a drain by the scheduler.
     pub stats: RetryStats,
 }
@@ -68,7 +86,8 @@ pub(crate) struct Retrying<'a, S: Substrate> {
 impl<'a, S: Substrate> Retrying<'a, S> {
     /// Wraps `inner` with a retry budget and a total-backoff cap.
     pub fn new(inner: &'a mut S, budget: u32, backoff_base_ms: f64, max_backoff_ms: f64) -> Self {
-        Retrying { inner, budget, backoff_base_ms, max_backoff_ms, stats: RetryStats::default() }
+        let policy = RetryPolicy { budget, backoff_base_ms, max_backoff_ms };
+        Retrying { inner, policy, stats: RetryStats::default() }
     }
 
     /// Drains the accumulated observations.
@@ -96,15 +115,12 @@ impl<S: Substrate> Substrate for Retrying<'_, S> {
                 }
                 Err(e) if e.is_transient() => {
                     self.stats.faults.push(id);
-                    if attempts > self.budget {
+                    if attempts > self.policy.budget {
                         self.stats.persistent += 1;
                         return Err(e);
                     }
-                    // Accounting only: charge the backoff, don't sleep. The
-                    // exponential term is computed in f64 (no u32 shift to
-                    // overflow) and the running total saturates at the cap.
-                    let step = self.backoff_base_ms * 2f64.powi((attempts - 1).min(1023) as i32);
-                    backoff_ms = (backoff_ms + step).min(self.max_backoff_ms);
+                    // Accounting only: charge the backoff, don't sleep.
+                    backoff_ms = self.policy.charge(attempts, backoff_ms);
                 }
                 // Permanent errors (malformed request, unknown app) are the
                 // caller's bug or a departure race; retrying cannot help.

@@ -1,0 +1,183 @@
+//! Cross-crate tests of the partition-tolerant control plane: service
+//! conservation under arbitrary interleavings of submit / finish /
+//! node-kill / node-restore / run on a *lossy* command channel with
+//! scripted partition windows, plus duplicate-delivery idempotence.
+
+use osml_core::{
+    Cluster, ClusterConfig, ClusterPlacement, Models, OsmlConfig, OsmlScheduler, ServiceDisposition,
+};
+use osml_models::{ModelA, ModelB, ModelBPrime, ModelC};
+use osml_platform::{ChannelPlan, PartitionWindow};
+use osml_workloads::{LaunchSpec, Service};
+use proptest::prelude::*;
+
+fn raw_scheduler() -> OsmlScheduler {
+    OsmlScheduler::new(
+        Models {
+            model_a: ModelA::new(36, 20, 1),
+            model_b: ModelB::new(36, 20, 2),
+            model_b_prime: ModelBPrime::new(3),
+            model_c: ModelC::new(4),
+        },
+        OsmlConfig::default(),
+    )
+}
+
+/// Duplicate-delivery idempotence across the crate boundary: a channel
+/// that duplicates *every* message must still leave exactly one replica
+/// per running service, because the node-side sequence window dedups
+/// commands and re-acks from the reply cache.
+#[test]
+fn duplicated_commands_never_double_place() {
+    let cfg = ClusterConfig {
+        channel: ChannelPlan { seed: 7, duplicate_prob: 1.0, ..ChannelPlan::none() },
+        ..ClusterConfig::failover_enabled()
+    };
+    let mut cluster = Cluster::try_new(3, raw_scheduler(), OsmlConfig::default(), cfg, 77).unwrap();
+    let mut ids = Vec::new();
+    for service in [Service::Moses, Service::Login, Service::ImgDnn] {
+        if let ClusterPlacement::Placed(h) =
+            cluster.submit(LaunchSpec::at_percent_load(service, 25.0))
+        {
+            ids.push(h.id);
+        }
+    }
+    cluster.run(15.0);
+    for id in &ids {
+        if cluster.disposition(*id) == Some(ServiceDisposition::Running) {
+            assert_eq!(cluster.replicas_of(*id), 1, "id {id} must have exactly one replica");
+        }
+    }
+    assert_eq!(cluster.ghost_replicas(), 0, "duplicates must never leave ghosts");
+    cluster.unified_log().replay().expect("log must fold under total duplication");
+}
+
+/// One scripted operation of the conservation interleaving.
+#[derive(Debug, Clone)]
+enum Op {
+    Submit(usize),
+    FinishOldest,
+    Kill(usize),
+    Restore(usize),
+    Run(u8),
+}
+
+/// Decodes one raw draw into a weighted operation (the vendored proptest
+/// has no `prop_oneof`, so the mix is hand-rolled from an integer).
+fn decode_op(raw: usize, nodes: usize) -> Op {
+    let payload = raw / 10;
+    match raw % 10 {
+        0..=2 => Op::Submit(payload % 4),
+        3..=4 => Op::FinishOldest,
+        5 => Op::Kill(payload % nodes),
+        6 => Op::Restore(payload % nodes),
+        _ => Op::Run(1 + (payload % 5) as u8),
+    }
+}
+
+const SERVICES: [Service; 4] =
+    [Service::Moses, Service::Login, Service::ImgDnn, Service::Memcached];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Conservation on a faulty control plane: arbitrary interleavings of
+    /// submit / finish / kill / restore / run over a channel that drops,
+    /// delays and duplicates messages and cuts scripted partition windows.
+    /// At every step the ledger is exact — every id ever issued holds
+    /// exactly one typed disposition — and running services resolve to
+    /// believed-up nodes. After the chaos quiesces (partitions over,
+    /// nodes restored, links drained) no ghost replica survives and every
+    /// running service has exactly one physical replica; the golden log
+    /// folds throughout.
+    #[test]
+    fn services_are_conserved_on_a_lossy_channel(
+        raw_ops in proptest::collection::vec(0usize..1000, 1..32),
+        seed in 0u64..1000,
+        loss_step in 1u64..5,
+        raw_windows in proptest::collection::vec(0u64..10_000, 0..3),
+    ) {
+        let nodes = 3usize;
+        let loss = loss_step as f64 * 0.05;
+        let mut channel = ChannelPlan::lossy(seed ^ 0xC0, loss);
+        let mut max_end = 0.0f64;
+        // Decode each raw draw into a (node, start, duration) partition
+        // window — the vendored proptest has no tuple strategies.
+        for &raw in &raw_windows {
+            let node = (raw % nodes as u64) as usize;
+            let start_s = ((raw / 10) % 40) as f64;
+            let end_s = start_s + (2 + (raw / 400) % 18) as f64;
+            channel.partitions.push(PartitionWindow { node, start_s, end_s });
+            max_end = max_end.max(end_s);
+        }
+        let cfg = ClusterConfig { channel, ..ClusterConfig::failover_enabled() };
+        let mut cluster =
+            Cluster::try_new(nodes, raw_scheduler(), OsmlConfig::default(), cfg, seed).unwrap();
+
+        let ops: Vec<Op> = raw_ops.iter().map(|&r| decode_op(r, nodes)).collect();
+        let mut issued: Vec<u64> = Vec::new();
+        let mut finished: Vec<u64> = Vec::new();
+        for op in &ops {
+            match op {
+                Op::Submit(which) => {
+                    let spec = LaunchSpec::at_percent_load(SERVICES[*which], 20.0);
+                    let before = cluster.submitted();
+                    let _ = cluster.submit(spec);
+                    prop_assert_eq!(cluster.submitted(), before + 1);
+                    issued.push(before);
+                }
+                Op::FinishOldest => {
+                    if let Some(h) = cluster.services().first().copied() {
+                        prop_assert!(cluster.finish(h));
+                        finished.push(h.id);
+                    }
+                }
+                Op::Kill(node) => cluster.kill_node(*node),
+                Op::Restore(node) => cluster.restore_node(*node),
+                Op::Run(s) => cluster.run(*s as f64),
+            }
+            // Invariant: the ledger covers every issued id, exactly once.
+            let ledger = cluster.dispositions();
+            prop_assert_eq!(ledger.len() as u64, cluster.submitted());
+            for id in &issued {
+                prop_assert!(
+                    ledger.iter().filter(|(lid, _)| lid == id).count() == 1,
+                    "id {} must appear exactly once in the ledger", id
+                );
+            }
+            // Running services live on believed-up nodes (suspicion
+            // strands a node's residents in the same transition that
+            // marks it down, so the two views never disagree).
+            for h in cluster.services() {
+                prop_assert_eq!(cluster.disposition(h.id), Some(ServiceDisposition::Running));
+                prop_assert!(cluster.node_is_up(h.node), "no service may live on a dead node");
+            }
+        }
+        for id in &finished {
+            prop_assert_eq!(cluster.disposition(*id), Some(ServiceDisposition::Finished));
+        }
+
+        // Quiesce: outlive every partition window, restore the fleet, and
+        // give the at-least-once teardown machinery time to drain.
+        for node in 0..nodes {
+            cluster.restore_node(node);
+        }
+        cluster.run(max_end + 30.0);
+        for node in 0..nodes {
+            cluster.restore_node(node);
+            prop_assert!(cluster.node_is_up(node));
+        }
+        cluster.run(10.0);
+        prop_assert_eq!(
+            cluster.ghost_replicas(), 0,
+            "after quiesce every live replica must be the authoritative one"
+        );
+        for h in cluster.services() {
+            prop_assert_eq!(
+                cluster.replicas_of(h.id), 1,
+                "running id {} must have exactly one replica", h.id
+            );
+        }
+        cluster.unified_log().replay().expect("cluster log must fold after the interleaving");
+    }
+}

@@ -224,6 +224,15 @@ struct FaultState {
 /// the whole-node fault model in [`crate::node_faults`], which keys it by
 /// `(node, interval)` instead of a call counter.
 pub(crate) fn decision(seed: u64, call: u64, salt: u64) -> f64 {
+    hash01(seed, call, salt)
+}
+
+/// Public handle on the shared SplitMix64 decision hash, for upper layers
+/// that need seeded uniform draws keyed to a stream index without carrying
+/// RNG state (the cluster's random-placement baseline draws here). Salts
+/// must be disjoint from the fault salts of this crate (1–5, 101–102,
+/// 201–205).
+pub fn hash01(seed: u64, call: u64, salt: u64) -> f64 {
     let mut z =
         seed ^ call.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt.wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);

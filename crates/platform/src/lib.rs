@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 mod alloc;
+pub mod control;
 mod counters;
 mod error;
 pub mod faults;
@@ -60,10 +61,14 @@ mod topology;
 mod ways;
 
 pub use alloc::{Allocation, CoreSet};
+pub use control::{
+    Channel, ChannelPlan, ChannelStats, ControlChannel, Envelope, LossyChannel, NodeCommand,
+    NodeReply, PartitionWindow, PerfectChannel, SendReport, SeqWindow,
+};
 pub use counters::{CounterSample, LatencyStats};
 pub use error::{ErrorClass, PlatformError};
 pub use faults::{
-    FailWindow, FaultPlan, FaultProfile, FaultRecord, FaultySubstrate, InjectedFault,
+    hash01, FailWindow, FaultPlan, FaultProfile, FaultRecord, FaultySubstrate, InjectedFault,
 };
 pub use mba::MbaThrottle;
 pub use node_faults::{

@@ -7,7 +7,8 @@ for bin in table1_max_load table3_features fig1_rcliff_heatmap fig2_rcliff_vs_rp
            fig12_colocation_oracle fig13_resource_usage fig14_dynamic_load \
            fig15_emu_overhead fig16_case_study fig17_fault_tolerance \
            fig18_telemetry fig19_crash_recovery fig20_overload replay_divergence \
-           fig22_cluster_failover model_accuracy ablations parallel_speedup; do
+           fig22_cluster_failover fig23_control_plane model_accuracy ablations \
+           parallel_speedup; do
   echo "==================== $bin ===================="
   cargo run -p osml-bench --release --bin "$bin"
 done
